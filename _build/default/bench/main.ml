@@ -1,0 +1,130 @@
+(* Benchmark and experiment driver.
+
+   Usage:
+     main.exe                 run experiments E1-E10 (full sizes) + micro
+     main.exe quick           run everything with reduced trial counts
+     main.exe e1 e5 ...       run selected experiments
+     main.exe micro           run only the Bechamel micro-benchmarks
+
+   Every experiment regenerates one of the paper's quantitative claims;
+   the mapping is documented in DESIGN.md §3 and EXPERIMENTS.md. *)
+
+open Bprc_harness
+
+let run_experiment ~quick id =
+  match Experiments.by_id id with
+  | Some fn ->
+    let t0 = Unix.gettimeofday () in
+    let table = fn ~quick () in
+    Table.print table;
+    Printf.printf "  (%.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
+  | None -> Printf.printf "unknown experiment %s\n%!" id
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: per-operation costs of the substrate.    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_snapshot_ops n () =
+  let sim =
+    Bprc_runtime.Sim.create ~seed:1 ~n
+      ~adversary:(Bprc_runtime.Adversary.round_robin ()) ()
+  in
+  let module S = Bprc_snapshot.Handshake.Make ((val Bprc_runtime.Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  for p = 0 to n - 1 do
+    ignore
+      (Bprc_runtime.Sim.spawn sim (fun () ->
+           for k = 1 to 20 do
+             S.write mem (k + p);
+             ignore (S.scan mem)
+           done))
+  done;
+  ignore (Bprc_runtime.Sim.run sim)
+
+let bench_shared_coin n () =
+  ignore (Run.coin_once ~delta:2 ~n ~seed:7 ())
+
+let bench_inc_graph n () =
+  let c = Bprc_strip.Edge_counters.create ~k:2 ~n in
+  for i = 0 to (4 * n) - 1 do
+    Bprc_strip.Edge_counters.apply_inc c (i mod n)
+  done
+
+let bench_consensus n () =
+  ignore
+    (Run.consensus_once ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
+       ~pattern:Run.Random_inputs ~n ~seed:5 ())
+
+let bench_linearize () =
+  let ops =
+    List.init 12 (fun k ->
+        {
+          Bprc_registers.History.pid = k mod 3;
+          start_time = 2 * k;
+          finish_time = (2 * k) + 3;
+          kind =
+            (if k mod 2 = 0 then Bprc_registers.History.W (k / 2)
+             else Bprc_registers.History.R (k / 2));
+        })
+  in
+  fun () -> ignore (Bprc_registers.Linearize.atomic ~init:0 ops)
+
+let micro () =
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"snapshot: 20x(write+scan) x4 procs"
+        (Staged.stage (bench_snapshot_ops 4));
+      Test.make ~name:"shared coin (n=4)" (Staged.stage (bench_shared_coin 4));
+      Test.make ~name:"shared coin (n=8)" (Staged.stage (bench_shared_coin 8));
+      Test.make ~name:"inc_graph x4n (n=8, K=2)"
+        (Staged.stage (bench_inc_graph 8));
+      Test.make ~name:"consensus end-to-end (n=3)"
+        (Staged.stage (bench_consensus 3));
+      Test.make ~name:"consensus end-to-end (n=5)"
+        (Staged.stage (bench_consensus 5));
+      Test.make ~name:"linearizability check (12 ops)"
+        (Staged.stage (bench_linearize ()));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  print_endline "=== micro-benchmarks (Bechamel, monotonic clock) ===";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            if est >= 1e6 then
+              Printf.printf "  %-40s %10.3f ms/run\n%!" name (est /. 1e6)
+            else Printf.printf "  %-40s %10.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        analyzed)
+    tests;
+  print_newline ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let args = List.filter (fun a -> a <> "quick") args in
+  let t0 = Unix.gettimeofday () in
+  (match args with
+  | [] | [ "all" ] ->
+    List.iter (run_experiment ~quick) Experiments.ids;
+    micro ()
+  | [ "micro" ] -> micro ()
+  | ids ->
+    List.iter
+      (fun id ->
+        if String.lowercase_ascii id = "micro" then micro ()
+        else run_experiment ~quick id)
+      ids);
+  Printf.printf "total wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

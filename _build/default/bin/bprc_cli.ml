@@ -1,0 +1,240 @@
+(* Command-line interface to the bounded polynomial randomized
+   consensus library: single runs, shared-coin runs, and the full
+   experiment suite. *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Number of processes.")
+
+let sched_conv =
+  let parse = function
+    | "random" -> Ok Bprc_harness.Run.Random_sched
+    | "rr" | "round-robin" -> Ok Bprc_harness.Run.Round_robin_sched
+    | "anti-coin" -> Ok Bprc_harness.Run.Anti_coin_sched
+    | "split" -> Ok Bprc_harness.Run.Osc_coin_sched
+    | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "bursty" -> (
+        match
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some b when b > 0 -> Ok (Bprc_harness.Run.Bursty_sched b)
+        | _ -> Error (`Msg "bursty:<positive burst> expected"))
+      | None | Some _ -> Error (`Msg ("unknown scheduler " ^ s)))
+  in
+  let print ppf s = Fmt.string ppf (Bprc_harness.Run.sched_name s) in
+  Arg.conv (parse, print)
+
+let sched_arg =
+  Arg.(
+    value
+    & opt sched_conv Bprc_harness.Run.Random_sched
+    & info [ "sched" ] ~docv:"SCHED"
+        ~doc:
+          "Scheduler/adversary: random, rr, bursty:K, anti-coin (walk \
+           stretcher), split (disagreement seeker).")
+
+let algo_conv =
+  let parse = function
+    | "ads" | "ads89" -> Ok (Bprc_harness.Run.Ads Bprc_core.Ads89.Shared_walk)
+    | "ah" | "ah88" -> Ok Bprc_harness.Run.Ah
+    | "local" -> Ok (Bprc_harness.Run.Ads Bprc_core.Ads89.Local_flips)
+    | "oracle" -> Ok (Bprc_harness.Run.Ads Bprc_core.Ads89.Oracle_shared)
+    | s -> Error (`Msg ("unknown algorithm " ^ s))
+  in
+  let print ppf a = Fmt.string ppf (Bprc_harness.Run.algo_name a) in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv (Bprc_harness.Run.Ads Bprc_core.Ads89.Shared_walk)
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Algorithm: ads (the paper), ah (unbounded baseline), local \
+              (exponential baseline), oracle (perfect coin).")
+
+let pattern_conv =
+  let parse = function
+    | "random" -> Ok Bprc_harness.Run.Random_inputs
+    | "split" -> Ok Bprc_harness.Run.Split
+    | "ones" -> Ok (Bprc_harness.Run.Unanimous true)
+    | "zeros" -> Ok (Bprc_harness.Run.Unanimous false)
+    | s -> Error (`Msg ("unknown input pattern " ^ s))
+  in
+  let print ppf = function
+    | Bprc_harness.Run.Random_inputs -> Fmt.string ppf "random"
+    | Bprc_harness.Run.Split -> Fmt.string ppf "split"
+    | Bprc_harness.Run.Unanimous v -> Fmt.pf ppf "unanimous %b" v
+  in
+  Arg.conv (parse, print)
+
+let pattern_arg =
+  Arg.(
+    value
+    & opt pattern_conv Bprc_harness.Run.Random_inputs
+    & info [ "inputs" ] ~docv:"PATTERN"
+        ~doc:"Input pattern: random, split, ones, zeros.")
+
+(* --- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let action n seed algo sched pattern =
+    let r = Bprc_harness.Run.consensus_once ~sched ~algo ~pattern ~n ~seed () in
+    let inputs = Bprc_harness.Run.inputs_of_pattern pattern ~n ~seed in
+    Fmt.pr "algorithm : %s@." (Bprc_harness.Run.algo_name algo);
+    Fmt.pr "scheduler : %s@." (Bprc_harness.Run.sched_name sched);
+    Fmt.pr "inputs    : %a@."
+      Fmt.(array ~sep:sp (fmt "%b"))
+      inputs;
+    Fmt.pr "decisions : %a@."
+      Fmt.(array ~sep:sp (option ~none:(any "?") (fmt "%b")))
+      r.Bprc_harness.Run.decisions;
+    Fmt.pr "steps     : %d   rounds: %d   walk steps: %d@."
+      r.Bprc_harness.Run.steps r.Bprc_harness.Run.max_round
+      r.Bprc_harness.Run.walk_steps;
+    Fmt.pr "register  : %d bits@." r.Bprc_harness.Run.register_bits;
+    match r.Bprc_harness.Run.spec with
+    | Ok () -> Fmt.pr "spec      : consistency and validity hold@."
+    | Error e ->
+      Fmt.pr "spec      : VIOLATION — %s@." e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one consensus instance in the simulator.")
+    Term.(const action $ n_arg $ seed_arg $ algo_arg $ sched_arg $ pattern_arg)
+
+(* --- coin ------------------------------------------------------------- *)
+
+let coin_cmd =
+  let delta_arg =
+    Arg.(value & opt int 2 & info [ "delta" ] ~doc:"Barrier multiplier δ.")
+  in
+  let action n seed delta sched =
+    let r = Bprc_harness.Run.coin_once ~delta ~sched ~n ~seed () in
+    Fmt.pr "values     : %a@." Fmt.(list ~sep:sp (fmt "%b")) r.Bprc_harness.Run.values;
+    Fmt.pr "agreed     : %b@." r.Bprc_harness.Run.agreed;
+    Fmt.pr "walk steps : %d   overflows: %d@." r.Bprc_harness.Run.walk_steps
+      r.Bprc_harness.Run.overflows
+  in
+  Cmd.v
+    (Cmd.info "coin" ~doc:"Flip one bounded weak shared coin (§3).")
+    Term.(const action $ n_arg $ seed_arg $ delta_arg $ sched_arg)
+
+(* --- experiment ------------------------------------------------------- *)
+
+let experiment_cmd =
+  let ids_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E10); all when empty.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced trial counts.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let action ids quick csv =
+    let ids = if ids = [] then Bprc_harness.Experiments.ids else ids in
+    List.iter
+      (fun id ->
+        match Bprc_harness.Experiments.by_id id with
+        | None ->
+          Fmt.epr "unknown experiment %s@." id;
+          exit 2
+        | Some fn ->
+          let table = fn ~quick () in
+          if csv then print_string (Bprc_harness.Table.to_csv table)
+          else Bprc_harness.Table.print table)
+      ids
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Reproduce the paper's quantitative claims (see EXPERIMENTS.md).")
+    Term.(const action $ ids_arg $ quick_arg $ csv_arg)
+
+(* --- multi ------------------------------------------------------------ *)
+
+let multi_cmd =
+  let width_arg =
+    Arg.(value & opt int 8 & info [ "width" ] ~doc:"Bit width of the domain.")
+  in
+  let action n seed width =
+    let sim =
+      Bprc_runtime.Sim.create ~seed ~n
+        ~adversary:(Bprc_runtime.Adversary.random ()) ()
+    in
+    let module M = Bprc_core.Multivalued.Make ((val Bprc_runtime.Sim.runtime sim)) in
+    let t = M.create ~width () in
+    let rng = Bprc_rng.Splitmix.create ~seed in
+    let inputs =
+      Array.init n (fun _ -> Bprc_rng.Splitmix.int rng (1 lsl width))
+    in
+    let handles =
+      Array.init n (fun i ->
+          Bprc_runtime.Sim.spawn sim (fun () -> M.run t ~input:inputs.(i)))
+    in
+    (match Bprc_runtime.Sim.run sim with
+    | Bprc_runtime.Sim.Completed -> ()
+    | Bprc_runtime.Sim.Hit_step_limit ->
+      Fmt.epr "step limit hit@.";
+      exit 1);
+    Fmt.pr "inputs    : %a@." Fmt.(array ~sep:sp int) inputs;
+    Fmt.pr "decisions : %a@."
+      Fmt.(array ~sep:sp (option ~none:(any "?") int))
+      (Array.map Bprc_runtime.Sim.result handles)
+  in
+  Cmd.v
+    (Cmd.info "multi" ~doc:"Multi-valued consensus (the paper's extension).")
+    Term.(const action $ n_arg $ seed_arg $ width_arg)
+
+(* --- trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let steps_arg =
+    Arg.(value & opt int 400 & info [ "steps" ] ~doc:"Steps to simulate.")
+  in
+  let action n seed sched steps =
+    let adversary =
+      match sched with
+      | Bprc_harness.Run.Random_sched -> Bprc_runtime.Adversary.random ()
+      | Bprc_harness.Run.Round_robin_sched -> Bprc_runtime.Adversary.round_robin ()
+      | Bprc_harness.Run.Bursty_sched b -> Bprc_runtime.Adversary.bursty ~burst:b ()
+      | Bprc_harness.Run.Anti_coin_sched | Bprc_harness.Run.Osc_coin_sched ->
+        Bprc_runtime.Adversary.random ()
+    in
+    let sim =
+      Bprc_runtime.Sim.create ~seed ~max_steps:steps ~record_trace:true ~n
+        ~adversary ()
+    in
+    let module C = Bprc_core.Ads89.Make ((val Bprc_runtime.Sim.runtime sim)) in
+    let t = C.create () in
+    let _ =
+      Array.init n (fun i ->
+          Bprc_runtime.Sim.spawn sim (fun () -> C.run t ~input:(i mod 2 = 0)))
+    in
+    ignore (Bprc_runtime.Sim.run sim);
+    match Bprc_runtime.Sim.trace sim with
+    | None -> Fmt.epr "no trace recorded@."
+    | Some tr ->
+      Fmt.pr "%a@." Bprc_runtime.Trace_stats.pp
+        (Bprc_runtime.Trace_stats.analyze tr ~n)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a consensus prefix with trace recording and print access              statistics.")
+    Term.(const action $ n_arg $ seed_arg $ sched_arg $ steps_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "bprc" ~version:"1.0.0"
+       ~doc:
+         "Bounded polynomial randomized consensus (Attiya-Dolev-Shavit, PODC \
+          1989): simulator, baselines, and experiment suite.")
+    [ run_cmd; coin_cmd; experiment_cmd; multi_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/adversarial_scheduling.ml: Bprc_core Bprc_harness Fmt List Run Stats

@@ -1,0 +1,1 @@
+examples/model_checking.ml: Array Bprc_runtime Explore Fmt Runtime_intf Sim

@@ -1,0 +1,1 @@
+examples/multicore_vote.ml: Array Bool Bprc_core Bprc_runtime Fmt Fun List Par

@@ -1,0 +1,1 @@
+examples/network_consensus.ml: Abd Array Bprc_core Bprc_netsim Fmt

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adversary Array Bprc_core Bprc_runtime Fmt Sim

@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Adversary Array Bprc_runtime Bprc_universal Fetch_and_cons Fmt List Sim Sticky_bit

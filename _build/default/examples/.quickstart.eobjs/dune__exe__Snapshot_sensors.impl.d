@@ -1,0 +1,1 @@
+examples/snapshot_sensors.ml: Adversary Bprc_runtime Bprc_snapshot Fmt Handshake List Sim Snap_checker

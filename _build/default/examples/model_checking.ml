@@ -1,0 +1,67 @@
+(* The exhaustive explorer as a user tool: model-check your own tiny
+   shared-memory algorithm over EVERY schedule and coin outcome.
+
+   Here we check a classic interview-question "algorithm": two
+   processes try to achieve mutual exclusion with two flags and no
+   turn variable (the broken precursor of Peterson's algorithm).  The
+   explorer visits every interleaving and finds both of its bugs:
+   mutual-exclusion holds but deadlock is possible — and a naive
+   "fix" (skip waiting) breaks mutual exclusion.
+
+     dune exec examples/model_checking.exe *)
+
+open Bprc_runtime
+
+(* Flags-only protocol: set my flag, wait until the other's flag is
+   down, enter, leave.  [polite] = true waits; false barges in. *)
+let run_protocol ~polite =
+  let deadlocks = ref 0 in
+  let violations = ref 0 in
+  let runs = ref 0 in
+  let stats =
+    Explore.search ~n:2 ~max_steps:60 ~max_runs:20_000
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let flag = [| R.make_reg ~name:"flag0" false; R.make_reg ~name:"flag1" false |] in
+        let in_cs = [| R.make_reg false; R.make_reg false |] in
+        let both_seen = ref false in
+        let body i =
+          let j = 1 - i in
+          R.write flag.(i) true;
+          (if polite then
+             while R.read flag.(j) do
+               R.yield ()
+             done);
+          R.write in_cs.(i) true;
+          (* Critical section: observe whether the peer is also in. *)
+          if R.read in_cs.(j) then both_seen := true;
+          R.write in_cs.(i) false;
+          R.write flag.(i) false
+        in
+        let check sim =
+          incr runs;
+          if Sim.clock sim >= 60 then incr deadlocks
+          else if !both_seen then incr violations
+        in
+        (body, check))
+      ()
+  in
+  (stats, !runs, !deadlocks, !violations)
+
+let () =
+  Fmt.pr "model-checking the flags-only mutual exclusion protocol@.@.";
+  let stats, runs, deadlocks, violations = run_protocol ~polite:true in
+  Fmt.pr "polite variant  : %d schedules (%s), %d deadlocked, %d exclusion violations@."
+    runs
+    (if stats.Explore.exhausted then "exhaustive" else "truncated")
+    deadlocks violations;
+  let stats', runs', deadlocks', violations' = run_protocol ~polite:false in
+  Fmt.pr "barging variant : %d schedules (%s), %d deadlocked, %d exclusion violations@."
+    runs'
+    (if stats'.Explore.exhausted then "exhaustive" else "truncated")
+    deadlocks' violations';
+  Fmt.pr
+    "@.the explorer exhibits both classic failures: waiting on flags alone@.\
+     can deadlock (both flags up), and not waiting breaks mutual exclusion.@.\
+     The same machinery verifies this repository's register constructions@.\
+     and snapshot objects exhaustively (see test/).@.";
+  if deadlocks = 0 || violations' = 0 then exit 1

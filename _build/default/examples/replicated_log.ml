@@ -1,0 +1,76 @@
+(* The application the paper's introduction promises: universal
+   synchronization primitives from randomized consensus.
+
+   Here a wait-free replicated append-log (fetch_and_cons of [H88])
+   and a set of sticky bits [P89] are built on the bounded consensus
+   protocol and exercised by concurrent processes in the simulator.
+
+     dune exec examples/replicated_log.exe *)
+
+open Bprc_runtime
+open Bprc_universal
+
+let () =
+  let n = 3 in
+  let sim =
+    Sim.create ~seed:31 ~max_steps:50_000_000 ~n
+      ~adversary:(Adversary.random ()) ()
+  in
+
+  (* A shared append-log: each process records events atomically and
+     learns exactly what the log contained at its append point. *)
+  let module F = Fetch_and_cons.Make ((val Sim.runtime sim)) in
+  let log = F.create ~payload_bits:6 () in
+
+  (* Sticky bits as one-shot leader election flags. *)
+  let module SB = Sticky_bit.Make ((val Sim.runtime sim)) in
+  let leader_flag = SB.create () in
+
+  let handles =
+    Array.init n (fun i ->
+        Sim.spawn sim (fun () ->
+            (* Try to become the leader: the bit sticks to the first
+               writer's proposal; we propose "i is even". *)
+            let leader_is_even = SB.write leader_flag (i mod 2 = 0) in
+            (* Append two events; fetch_and_cons returns the log as it
+               was at the append point. *)
+            let before1 = F.fetch_and_cons log ((10 * i) + 1) in
+            let before2 = F.fetch_and_cons log ((10 * i) + 2) in
+            (leader_is_even, before1, before2)))
+  in
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> failwith "step limit");
+
+  Array.iteri
+    (fun i h ->
+      match Sim.result h with
+      | Some (leader_even, b1, b2) ->
+        Fmt.pr "process %d: leader flag=%b, saw log %a then %a@." i leader_even
+          Fmt.(brackets (list ~sep:semi int))
+          b1
+          Fmt.(brackets (list ~sep:semi int))
+          b2
+      | None -> Fmt.pr "process %d: no result@." i)
+    handles;
+  (* A replica stops replaying once its own appends have landed, so
+     replicas are prefixes of one another; the longest one has the most
+     complete picture. *)
+  let views = List.init n (fun pid -> F.current log ~pid) in
+  let longest =
+    List.fold_left
+      (fun acc v -> if List.length v > List.length acc then v else acc)
+      [] views
+  in
+  Fmt.pr "@.most advanced replica (newest first): %a@."
+    Fmt.(brackets (list ~sep:semi int))
+    longest;
+  Fmt.pr "replica views are consistent prefixes: %b@."
+    (List.for_all
+       (fun v ->
+         let rec is_tail shorter lnger =
+           if List.length shorter = List.length lnger then shorter = lnger
+           else match lnger with [] -> false | _ :: tl -> is_tail shorter tl
+         in
+         is_tail v longest)
+       views)

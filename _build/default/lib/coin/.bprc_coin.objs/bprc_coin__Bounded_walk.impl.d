@@ -1,0 +1,1 @@
+lib/coin/bounded_walk.ml: Array Atomic Bprc_runtime Bprc_snapshot

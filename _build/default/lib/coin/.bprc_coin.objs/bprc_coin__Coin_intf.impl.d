@@ -1,0 +1,1 @@
+lib/coin/coin_intf.ml:

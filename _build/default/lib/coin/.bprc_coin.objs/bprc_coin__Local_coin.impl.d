@@ -1,0 +1,1 @@
+lib/coin/local_coin.ml: Bprc_runtime

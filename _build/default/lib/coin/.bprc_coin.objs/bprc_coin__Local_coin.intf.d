@@ -1,0 +1,1 @@
+lib/coin/local_coin.mli: Bprc_runtime Coin_intf

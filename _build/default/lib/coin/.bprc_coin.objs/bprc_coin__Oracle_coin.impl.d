@@ -1,0 +1,1 @@
+lib/coin/oracle_coin.ml: Bprc_rng Bprc_runtime

@@ -1,0 +1,1 @@
+lib/coin/oracle_coin.mli: Bprc_runtime Coin_intf

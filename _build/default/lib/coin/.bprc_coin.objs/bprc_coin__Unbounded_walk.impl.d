@@ -1,0 +1,1 @@
+lib/coin/unbounded_walk.ml: Array Atomic Bprc_runtime Bprc_snapshot

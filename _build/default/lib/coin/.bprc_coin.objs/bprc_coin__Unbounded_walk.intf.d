@@ -1,0 +1,1 @@
+lib/coin/unbounded_walk.mli: Bprc_runtime Coin_intf

@@ -1,0 +1,38 @@
+(** Common signature of weak shared coins.
+
+    A weak shared coin is flipped cooperatively by the [n] processes of
+    the ambient runtime; each caller eventually obtains a boolean, and
+    the implementations differ in their {e agreement parameter} (the
+    probability that all callers obtain the same boolean) and in their
+    step and space costs:
+
+    - {!Bprc_coin.Bounded_walk}: the paper's §3 coin — random walk on
+      the sum of bounded per-process counters; disagreement probability
+      [O(1/δ)], expected [O((δ·n)²)] total steps, bounded space.
+    - {!Bprc_coin.Unbounded_walk}: the Aspnes–Herlihy coin with
+      unbounded counters (baseline).
+    - {!Bprc_coin.Local_coin}: every process flips privately
+      (Abrahamson-style; agreement probability [2^(1-n)]).
+    - {!Bprc_coin.Oracle_coin}: a perfect shared coin (the atomic
+      coin-flip primitive of Chor–Israeli–Li; agreement 1). *)
+
+module type S = sig
+  type t
+
+  val create : ?name:string -> seed:int -> unit -> t
+  (** A fresh one-shot coin shared by all processes of the runtime.
+      [seed] only matters to implementations that use randomness
+      outside the processes' own flips. *)
+
+  val flip : t -> bool
+  (** Run this process's part of the protocol until the coin's value is
+      determined for it.  Wait-free. *)
+
+  val total_walk_steps : t -> int
+  (** Walk steps contributed by all processes so far (0 for coins that
+      do not walk). *)
+
+  val overflows : t -> int
+  (** Number of times a process decided by counter overflow (always 0
+      for unbounded implementations). *)
+end

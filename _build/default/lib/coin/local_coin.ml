@@ -1,0 +1,8 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  type t = unit
+
+  let create ?name:_ ~seed:_ () = ()
+  let flip () = R.flip ()
+  let total_walk_steps () = 0
+  let overflows () = 0
+end

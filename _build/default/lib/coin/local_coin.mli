@@ -1,0 +1,7 @@
+(** The degenerate "shared" coin of Abrahamson-style protocols: every
+    process simply flips its own local coin.  Agreement probability is
+    only [2^(1-n)], which is what makes the resulting consensus
+    protocol run in expected {e exponential} time — the baseline the
+    paper's polynomial bound is measured against. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : Coin_intf.S

@@ -1,0 +1,10 @@
+module Make (_ : Bprc_runtime.Runtime_intf.S) = struct
+  type t = { value : bool }
+
+  let create ?name:_ ~seed () =
+    { value = Bprc_rng.Splitmix.bool (Bprc_rng.Splitmix.create ~seed) }
+
+  let flip t = t.value
+  let total_walk_steps _ = 0
+  let overflows _ = 0
+end

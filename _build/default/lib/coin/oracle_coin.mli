@@ -1,0 +1,7 @@
+(** A perfect shared coin: every process observes the same fair random
+    boolean, drawn once from the coin's seed.  This models the atomic
+    coin-flip primitive assumed by Chor–Israeli–Li, which the paper
+    (following Abrahamson and Aspnes–Herlihy) refuses to assume; it
+    serves as the best-case comparator in the benchmarks. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : Coin_intf.S

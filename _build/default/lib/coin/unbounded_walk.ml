@@ -1,0 +1,44 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  module Snap = Bprc_snapshot.Handshake.Make (R)
+
+  type t = {
+    mem : int Snap.t;
+    threshold : int;
+    steps : int Atomic.t;
+    max_mag : int Atomic.t;
+  }
+
+  let create_custom ?(name = "ucoin") ?(delta = 2) ~seed:_ () =
+    if delta <= 0 then invalid_arg "Unbounded_walk: delta must be positive";
+    {
+      mem = Snap.create ~name ~init:0 ();
+      threshold = delta * R.n;
+      steps = Atomic.make 0;
+      max_mag = Atomic.make 0;
+    }
+
+  let create ?name ~seed () = create_custom ?name ~seed ()
+
+  let flip t =
+    let me = R.pid () in
+    let rec loop () =
+      let view = Snap.scan t.mem in
+      let sum = Array.fold_left ( + ) 0 view in
+      if sum > t.threshold then true
+      else if sum < -t.threshold then false
+      else begin
+        let delta = if R.flip () then 1 else -1 in
+        let c = view.(me) + delta in
+        Snap.write t.mem c;
+        Atomic.incr t.steps;
+        let mag = abs c in
+        if mag > Atomic.get t.max_mag then Atomic.set t.max_mag mag;
+        loop ()
+      end
+    in
+    loop ()
+
+  let total_walk_steps t = Atomic.get t.steps
+  let overflows _ = 0
+  let max_counter_magnitude t = Atomic.get t.max_mag
+end

@@ -1,0 +1,12 @@
+(** The Aspnes–Herlihy weak shared coin with {e unbounded} counters —
+    the baseline whose space cost the paper's §3 modification removes.
+    Identical to {!Bounded_walk} but with no counter bound and no
+    overflow escape; {!max_counter_magnitude} exposes the unbounded
+    component for space accounting (experiment E6). *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  include Coin_intf.S
+
+  val create_custom : ?name:string -> ?delta:int -> seed:int -> unit -> t
+  val max_counter_magnitude : t -> int
+end

@@ -1,0 +1,1 @@
+lib/core/ads89.ml: Array Atomic Bprc_rng Bprc_runtime Bprc_snapshot Bprc_strip Bprc_util Coin_probe Consensus_intf List Params Virtual_rounds

@@ -1,0 +1,1 @@
+lib/core/ads89.mli: Bprc_runtime Bprc_snapshot Consensus_intf

@@ -1,0 +1,1 @@
+lib/core/ah88.ml: Array Atomic Bprc_runtime Bprc_snapshot Coin_probe Fun List

@@ -1,0 +1,1 @@
+lib/core/ah88.mli: Bprc_runtime Coin_probe

@@ -1,0 +1,1 @@
+lib/core/coin_probe.ml: Array

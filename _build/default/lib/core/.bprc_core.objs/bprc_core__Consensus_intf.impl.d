@@ -1,0 +1,1 @@
+lib/core/consensus_intf.ml: Coin_probe Params Virtual_rounds

@@ -1,0 +1,1 @@
+lib/core/multivalued.ml: Ads89 Array Bprc_runtime Bprc_snapshot Params Printf

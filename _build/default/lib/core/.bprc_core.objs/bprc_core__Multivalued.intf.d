@@ -1,0 +1,1 @@
+lib/core/multivalued.mli: Bprc_runtime Params

@@ -1,0 +1,1 @@
+lib/core/virtual_rounds.ml: Array Bprc_strip Fun List Printf

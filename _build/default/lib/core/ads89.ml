@@ -1,0 +1,289 @@
+type coin_mode = Consensus_intf.coin_mode =
+  | Shared_walk
+  | Local_flips
+  | Oracle_shared
+
+type stats = Consensus_intf.stats = {
+  scans : int;
+  writes : int;
+  walk_steps : int;
+  max_raw_round : int;
+  decided : bool option array;
+  rounds_at_decision : int array;
+}
+
+module Make_over_snapshot
+    (R : Bprc_runtime.Runtime_intf.S)
+    (Snap : Bprc_snapshot.Snapshot_intf.S) =
+struct
+  module Dg = Bprc_strip.Distance_graph
+  module Ec = Bprc_strip.Edge_counters
+
+  type state = {
+    pref : bool option;
+    current_coin : int;  (** pointer in [0..K] *)
+    coins : int array;  (** K+1 bounded walk counters *)
+    edges : int array;  (** this process's row of the mod-3K counters *)
+    ghost : int;
+        (** checker-only ghost write counter: not part of the algorithm
+            (nothing reads it) and excluded from the space accounting;
+            it lets tests serialize scans per P3 and drive the §6.1
+            virtual-round checker. *)
+  }
+
+  type t = {
+    k : int;
+    threshold : int;  (** δ·n *)
+    m : int;
+    params : Params.t;
+    mem : state Snap.t;
+    mode : coin_mode;
+    oracle_seed : int;
+    (* Meta-level instrumentation (not part of the algorithm's shared
+       state; plain mutation is safe under the cooperative simulator and
+       only approximate under Par). *)
+    raw_round : int array;
+    coin_published : int array;  (** current-round counter as last written *)
+    coin_pending : int array;  (** drawn-but-unpublished step direction *)
+    decided : bool option array;
+    rounds_at_decision : int array;
+    ghost_count : int array;
+    recorder : Virtual_rounds.obs Bprc_util.Vec.t option;
+    scan_count : int Atomic.t;
+    write_count : int Atomic.t;
+    walk_count : int Atomic.t;
+  }
+
+  let create ?(name = "ads89") ?(params = Params.default)
+      ?(coin_mode = Shared_walk) ?(oracle_seed = 0) ?(record_scans = false) ()
+      =
+    let k, delta, m = Params.validate params ~n:R.n in
+    let init =
+      {
+        pref = None;
+        current_coin = 0;
+        coins = Array.make (k + 1) 0;
+        edges = Array.make R.n 0;
+        ghost = 0;
+      }
+    in
+    {
+      k;
+      threshold = delta * R.n;
+      m;
+      params;
+      mem = Snap.create ~name ~init ();
+      mode = coin_mode;
+      oracle_seed;
+      raw_round = Array.make R.n 0;
+      coin_published = Array.make R.n 0;
+      coin_pending = Array.make R.n 0;
+      decided = Array.make R.n None;
+      rounds_at_decision = Array.make R.n (-1);
+      ghost_count = Array.make R.n 0;
+      recorder =
+        (if record_scans then Some (Bprc_util.Vec.create ()) else None);
+      scan_count = Atomic.make 0;
+      write_count = Atomic.make 0;
+      walk_count = Atomic.make 0;
+    }
+
+  let scan t =
+    Atomic.incr t.scan_count;
+    let view = Snap.scan t.mem in
+    (match t.recorder with
+    | None -> ()
+    | Some rec_ ->
+      Bprc_util.Vec.push rec_
+        {
+          Virtual_rounds.spid = R.pid ();
+          ghosts = Array.map (fun st -> st.ghost) view;
+          rows = Array.map (fun st -> Array.copy st.edges) view;
+        });
+    view
+
+  let write t st =
+    Atomic.incr t.write_count;
+    let me = R.pid () in
+    t.ghost_count.(me) <- t.ghost_count.(me) + 1;
+    Snap.write t.mem { st with ghost = t.ghost_count.(me) }
+
+  let graph_of t view =
+    Ec.to_graph (Ec.of_rows ~k:t.k (Array.map (fun st -> st.edges) view))
+
+  (* Round advancement (§5 [inc]): bump the coin pointer, zero the slot
+     now standing for the round being entered, advance the edge
+     counters.  Returns the round fields of the new state. *)
+  let inc_fields t view me =
+    let st = view.(me) in
+    let kp1 = t.k + 1 in
+    let current_coin = (st.current_coin + 1) mod kp1 in
+    let coins = Array.copy st.coins in
+    coins.((current_coin + 1) mod kp1) <- 0;
+    let ec = Ec.of_rows ~k:t.k (Array.map (fun s -> s.edges) view) in
+    let edges = Ec.inc_row ec me in
+    t.raw_round.(me) <- t.raw_round.(me) + 1;
+    t.coin_published.(me) <- 0;
+    t.coin_pending.(me) <- 0;
+    (current_coin, coins, edges)
+
+  type verdict = Heads | Tails | Undecided
+
+  (* §5 [next_coin_value]: assemble the view of my current round's coin
+     from every process at most K-1 rounds ahead of me; processes K or
+     more ahead have withdrawn their contribution (Observation 1.2) and
+     trailing processes have not contributed yet — both count as 0. *)
+  let next_coin_value t g view me =
+    let st = view.(me) in
+    let kp1 = t.k + 1 in
+    let own = st.coins.((st.current_coin + 1) mod kp1) in
+    if own < -t.m || own > t.m then Heads
+    else begin
+      let sum = ref own in
+      for j = 0 to R.n - 1 do
+        if j <> me && Dg.edge g j me then begin
+          let w = Dg.weight g j me in
+          if w < t.k then begin
+            let slot = (((view.(j).current_coin - w + 1) mod kp1) + kp1) mod kp1 in
+            sum := !sum + view.(j).coins.(slot)
+          end
+        end
+      done;
+      if !sum > t.threshold then Heads
+      else if !sum < -t.threshold then Tails
+      else Undecided
+    end
+
+  (* §5 [flip_next_coin]: one walk step on my counter for the current
+     round, clamped into the escape band ±(m+1). *)
+  let flip_next_coin t view me =
+    let st = view.(me) in
+    let kp1 = t.k + 1 in
+    let slot = (st.current_coin + 1) mod kp1 in
+    let coins = Array.copy st.coins in
+    let move = if R.flip () then 1 else -1 in
+    t.coin_pending.(me) <- move;
+    let c = coins.(slot) + move in
+    coins.(slot) <-
+      (if c > t.m + 1 then t.m + 1 else if c < -t.m - 1 then -t.m - 1 else c);
+    Atomic.incr t.walk_count;
+    coins
+
+  let trails_by_k t g me j =
+    match Dg.dist g me j with Some d -> d >= t.k | None -> false
+
+  let leaders_agree view ls =
+    match ls with
+    | [] -> None
+    | l0 :: rest -> (
+      match view.(l0).pref with
+      | None -> None
+      | Some v ->
+        if List.for_all (fun l -> view.(l).pref = Some v) rest then Some v
+        else None)
+
+  let oracle_value t round =
+    Bprc_rng.Splitmix.bool
+      (Bprc_rng.Splitmix.fork
+         (Bprc_rng.Splitmix.create ~seed:t.oracle_seed)
+         round)
+
+  let decide t me v =
+    t.decided.(me) <- Some v;
+    t.rounds_at_decision.(me) <- t.raw_round.(me);
+    v
+
+  let run t ~input =
+    let me = R.pid () in
+    (* Announce: adopt the input and enter round 1. *)
+    let view = scan t in
+    let current_coin, coins, edges = inc_fields t view me in
+    write t { pref = Some input; current_coin; coins; edges; ghost = 0 };
+    let rec loop () =
+      let view = scan t in
+      let g = graph_of t view in
+      let my = view.(me) in
+      let is_leader = List.mem me (Dg.leaders g) in
+      let can_decide =
+        match my.pref with
+        | None -> false
+        | Some v ->
+          is_leader
+          && (let ok = ref true in
+              for j = 0 to R.n - 1 do
+                if j <> me && view.(j).pref <> Some v && not (trails_by_k t g me j)
+                then ok := false
+              done;
+              !ok)
+      in
+      match my.pref with
+      | Some v when can_decide -> decide t me v
+      | _ -> (
+        match leaders_agree view (Dg.leaders g) with
+        | Some v ->
+          let current_coin, coins, edges = inc_fields t view me in
+          write t { pref = Some v; current_coin; coins; edges; ghost = 0 };
+          loop ()
+        | None -> (
+          match my.pref with
+          | Some _ ->
+            write t { my with pref = None };
+            loop ()
+          | None -> (
+            match t.mode with
+            | Local_flips ->
+              let v = R.flip () in
+              let current_coin, coins, edges = inc_fields t view me in
+              write t { pref = Some v; current_coin; coins; edges; ghost = 0 };
+              loop ()
+            | Oracle_shared ->
+              let v = oracle_value t t.raw_round.(me) in
+              let current_coin, coins, edges = inc_fields t view me in
+              write t { pref = Some v; current_coin; coins; edges; ghost = 0 };
+              loop ()
+            | Shared_walk -> (
+              match next_coin_value t g view me with
+              | Undecided ->
+                let coins = flip_next_coin t view me in
+                write t { my with pref = None; coins };
+                t.coin_published.(me) <-
+                  coins.((my.current_coin + 1) mod (t.k + 1));
+                t.coin_pending.(me) <- 0;
+                loop ()
+              | (Heads | Tails) as hv ->
+                let v = hv = Heads in
+                let current_coin, coins, edges = inc_fields t view me in
+                write t
+                  { pref = Some v; current_coin; coins; edges; ghost = 0 };
+                loop ()))))
+    in
+    loop ()
+
+  let stats t =
+    {
+      scans = Atomic.get t.scan_count;
+      writes = Atomic.get t.write_count;
+      walk_steps = Atomic.get t.walk_count;
+      max_raw_round = Array.fold_left max 0 t.raw_round;
+      decided = Array.copy t.decided;
+      rounds_at_decision = Array.copy t.rounds_at_decision;
+    }
+
+  let register_bits t = Params.register_bits t.params ~n:R.n
+
+  let coin_probe t =
+    {
+      Coin_probe.rounds = Array.copy t.raw_round;
+      published = Array.copy t.coin_published;
+      pending = Array.copy t.coin_pending;
+      threshold = t.threshold;
+    }
+
+  let recorded_scans t =
+    match t.recorder with
+    | None -> []
+    | Some rec_ -> Bprc_util.Vec.to_list rec_
+end
+
+module Make (R : Bprc_runtime.Runtime_intf.S) =
+  Make_over_snapshot (R) (Bprc_snapshot.Handshake.Make (R))

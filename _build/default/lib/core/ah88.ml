@@ -1,0 +1,157 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  module Snap = Bprc_snapshot.Handshake.Make (R)
+
+  type state = {
+    pref : bool option;
+    round : int;  (** unbounded *)
+    coins : int array;  (** counter per round up to [round]; grows *)
+  }
+
+  type t = {
+    k : int;
+    threshold : int;
+    mem : state Snap.t;
+    walk_count : int Atomic.t;
+    max_round_seen : int Atomic.t;
+    max_counter_mag : int Atomic.t;
+    (* Meta-level probes for the adaptive adversaries. *)
+    raw_round : int array;
+    coin_published : int array;
+    coin_pending : int array;
+  }
+
+  let create ?(name = "ah88") ?(k = 2) ?(delta = 2) () =
+    if k <= 0 || delta <= 0 then invalid_arg "Ah88.create";
+    {
+      k;
+      threshold = delta * R.n;
+      mem = Snap.create ~name ~init:{ pref = None; round = 0; coins = [||] } ();
+      walk_count = Atomic.make 0;
+      max_round_seen = Atomic.make 0;
+      max_counter_mag = Atomic.make 0;
+      raw_round = Array.make R.n 0;
+      coin_published = Array.make R.n 0;
+      coin_pending = Array.make R.n 0;
+    }
+
+  let bump_max a v = if v > Atomic.get a then Atomic.set a v
+
+  (* Advance to the next round: extend the per-round counter strip. *)
+  let inc st =
+    let round = st.round + 1 in
+    let coins = Array.make (round + 1) 0 in
+    Array.blit st.coins 0 coins 0 (Array.length st.coins);
+    (round, coins)
+
+  let counter_for st r = if r < Array.length st.coins then st.coins.(r) else 0
+
+  let coin_sum view r =
+    Array.fold_left (fun acc st -> acc + counter_for st r) 0 view
+
+  let leaders view =
+    let mx = Array.fold_left (fun acc st -> max acc st.round) 0 view in
+    List.filter (fun j -> view.(j).round = mx) (List.init R.n Fun.id)
+
+  let leaders_agree view ls =
+    match ls with
+    | [] -> None
+    | l0 :: rest -> (
+      match view.(l0).pref with
+      | None -> None
+      | Some v ->
+        if List.for_all (fun l -> view.(l).pref = Some v) rest then Some v
+        else None)
+
+  let enter_round t me round =
+    bump_max t.max_round_seen round;
+    t.raw_round.(me) <- round;
+    t.coin_published.(me) <- 0;
+    t.coin_pending.(me) <- 0
+
+  let run t ~input =
+    let me = R.pid () in
+    let view = Snap.scan t.mem in
+    let round, coins = inc view.(me) in
+    Snap.write t.mem { pref = Some input; round; coins };
+    enter_round t me round;
+    let rec loop () =
+      let view = Snap.scan t.mem in
+      let my = view.(me) in
+      let ls = leaders view in
+      let is_leader = List.mem me ls in
+      let can_decide =
+        match my.pref with
+        | None -> false
+        | Some v ->
+          is_leader
+          && (let ok = ref true in
+              for j = 0 to R.n - 1 do
+                if
+                  j <> me
+                  && view.(j).pref <> Some v
+                  && my.round - view.(j).round < t.k
+                then ok := false
+              done;
+              !ok)
+      in
+      match my.pref with
+      | Some v when can_decide -> v
+      | _ -> (
+        match leaders_agree view ls with
+        | Some v ->
+          let round, coins = inc my in
+          Snap.write t.mem { pref = Some v; round; coins };
+          enter_round t me round;
+          loop ()
+        | None -> (
+          match my.pref with
+          | Some _ ->
+            Snap.write t.mem { my with pref = None };
+            loop ()
+          | None ->
+            let sum = coin_sum view my.round in
+            if sum > t.threshold || sum < -t.threshold then begin
+              let v = sum > t.threshold in
+              let round, coins = inc my in
+              Snap.write t.mem { pref = Some v; round; coins };
+              enter_round t me round;
+              loop ()
+            end
+            else begin
+              (* Unbounded walk step on my current round's counter. *)
+              let coins = Array.copy my.coins in
+              let move = if R.flip () then 1 else -1 in
+              t.coin_pending.(me) <- move;
+              let c = coins.(my.round) + move in
+              coins.(my.round) <- c;
+              bump_max t.max_counter_mag (abs c);
+              Atomic.incr t.walk_count;
+              Snap.write t.mem { my with pref = None; coins };
+              t.coin_published.(me) <- c;
+              t.coin_pending.(me) <- 0;
+              loop ()
+            end))
+    in
+    loop ()
+
+  let max_round t = Atomic.get t.max_round_seen
+
+  let bits_for x =
+    let rec go acc v = if v >= x then acc else go (acc + 1) (v * 2) in
+    go 0 1
+
+  let max_register_bits t =
+    let rounds = Atomic.get t.max_round_seen + 1 in
+    let counter_bits = 1 + bits_for (Atomic.get t.max_counter_mag + 1) in
+    2 (* pref *) + bits_for (rounds + 1) + (rounds * counter_bits)
+
+  let total_walk_steps t = Atomic.get t.walk_count
+
+  let coin_probe t =
+    {
+      Coin_probe.rounds = Array.copy t.raw_round;
+      published = Array.copy t.coin_published;
+      pending = Array.copy t.coin_pending;
+      threshold = t.threshold;
+    }
+end

@@ -1,0 +1,35 @@
+(** Aspnes–Herlihy-style consensus over an {e unbounded} rounds strip —
+    the baseline the paper improves on (space-wise).
+
+    Same protocol skeleton as {!Ads89} and the same shared-coin idea,
+    but rounds are plain unbounded integers and every process's segment
+    carries its walk counter for {e every} round it ever executed (the
+    infinite strip of coins, one location per round, exactly what §4
+    compresses away).  Expected polynomial time, like the paper's
+    protocol, but register size grows linearly with the round number
+    reached, and adversarial scheduling can push it arbitrarily high.
+
+    {!max_register_bits} exposes the grown size for experiment E6. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : ?name:string -> ?k:int -> ?delta:int -> unit -> t
+  (** [k] is the decision lag (default 2), [delta] the coin barrier
+      multiplier (default 2), as in {!Ads89}. *)
+
+  val run : t -> input:bool -> bool
+
+  val max_round : t -> int
+  (** Highest round entered by any process so far. *)
+
+  val max_register_bits : t -> int
+  (** Size in bits that the largest segment value reached — grows with
+      {!max_round}, unlike the paper's protocol. *)
+
+  val total_walk_steps : t -> int
+
+  val coin_probe : t -> Coin_probe.t
+  (** Meta-level view of the current-round coin counters, for the
+      adaptive adversaries. *)
+end

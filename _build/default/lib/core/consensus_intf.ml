@@ -1,0 +1,49 @@
+(** Signature of the §5 consensus protocol implementations (shared by
+    the paper's configuration and its snapshot-ablated variants). *)
+
+type coin_mode =
+  | Shared_walk  (** the paper's bounded shared coin — polynomial *)
+  | Local_flips  (** private flips, Abrahamson-class — exponential *)
+  | Oracle_shared  (** perfect per-round shared coin — best case *)
+
+type stats = {
+  scans : int;
+  writes : int;
+  walk_steps : int;
+  max_raw_round : int;  (** true (meta-level, unbounded) round reached *)
+  decided : bool option array;  (** per process *)
+  rounds_at_decision : int array;  (** raw round at decision, -1 if none *)
+}
+
+module type S = sig
+  type t
+
+  val create :
+    ?name:string ->
+    ?params:Params.t ->
+    ?coin_mode:coin_mode ->
+    ?oracle_seed:int ->
+    ?record_scans:bool ->
+    unit ->
+    t
+  (** [record_scans] turns on the checker-level scan recorder consumed
+      by {!Virtual_rounds} (§6.1); off by default. *)
+
+  val run : t -> input:bool -> bool
+  (** Execute the protocol as the calling process; returns the decided
+      value.  Wait-free with probability 1 under [Shared_walk]. *)
+
+  val stats : t -> stats
+
+  val register_bits : t -> int
+  (** Bound on one segment's size in bits (constant over any execution
+      — the paper's headline). *)
+
+  val coin_probe : t -> Coin_probe.t
+  (** Meta-level view of the per-round coin counters, for the
+      full-information adaptive adversaries of the harness. *)
+
+  val recorded_scans : t -> Virtual_rounds.obs list
+  (** The scans observed so far (empty unless [record_scans]), in
+      completion order; feed to {!Virtual_rounds.check}. *)
+end

@@ -1,0 +1,69 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  module Snap = Bprc_snapshot.Handshake.Make (R)
+  module Bin = Ads89.Make (R)
+
+  type t = {
+    width : int;
+    board : int option Snap.t;  (** posted inputs *)
+    stages : Bin.t array;  (** one binary instance per bit, MSB first *)
+  }
+
+  let create ?(name = "mv") ?(params = Params.default) ?(width = 16) () =
+    if width <= 0 || width > 30 then
+      invalid_arg "Multivalued.create: width must be in [1, 30]";
+    {
+      width;
+      board = Snap.create ~name:(name ^ ".board") ~init:None ();
+      stages =
+        Array.init width (fun k ->
+            Bin.create ~name:(Printf.sprintf "%s.bit%d" name k) ~params ());
+    }
+
+  let bit_of v k = (v lsr k) land 1 = 1
+
+  (* Bits agreed so far are [prefix] for positions [width-1 .. k+1]; a
+     posted value is a candidate when it matches all of them. *)
+  let matching_candidate t ~decided ~down_to =
+    let posted = Snap.scan t.board in
+    let matches v =
+      let ok = ref true in
+      for k = t.width - 1 downto down_to do
+        if bit_of v k <> decided.(k) then ok := false
+      done;
+      !ok
+    in
+    Array.fold_left
+      (fun acc p ->
+        match (acc, p) with
+        | Some _, _ -> acc
+        | None, Some v when matches v -> Some v
+        | None, _ -> None)
+      None posted
+
+  let run t ~input =
+    if input < 0 || input >= 1 lsl t.width then
+      invalid_arg "Multivalued.run: input outside domain";
+    Snap.write t.board (Some input);
+    let decided = Array.make t.width false in
+    let candidate = ref input in
+    for k = t.width - 1 downto 0 do
+      let b = Bin.run t.stages.(k) ~input:(bit_of !candidate k) in
+      decided.(k) <- b;
+      if bit_of !candidate k <> b then begin
+        (* My candidate lost this bit; adopt any posted value that
+           matches the agreed prefix (§: one exists, namely the posted
+           candidate of whichever process proposed the winning bit). *)
+        match matching_candidate t ~decided ~down_to:k with
+        | Some v -> candidate := v
+        | None ->
+          (* Unreachable when the inductive invariant holds. *)
+          assert false
+      end
+    done;
+    (* The agreed bit string pins the value completely. *)
+    let v = ref 0 in
+    for k = t.width - 1 downto 0 do
+      if decided.(k) then v := !v lor (1 lsl k)
+    done;
+    !v
+end

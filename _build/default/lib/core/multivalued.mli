@@ -1,0 +1,26 @@
+(** Multi-valued consensus — the extension the paper notes ("the
+    protocol can be extended to handle arbitrary initial values") —
+    built as [width] sequential instances of the binary protocol.
+
+    Processes first post their inputs in a scannable memory, then agree
+    on the value bit by bit (most significant first).  At stage [k]
+    each process proposes bit [k] of a {e candidate}: some posted value
+    consistent with the bits agreed so far.  The decided bit is some
+    process's proposal and that process held a consistent posted
+    candidate, so inductively the final bit string equals a posted
+    value: decisions satisfy {e strong validity} (the outcome is some
+    process's actual input), and agreement is inherited from the binary
+    instances.  Cost: [width] times the binary protocol. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create :
+    ?name:string -> ?params:Params.t -> ?width:int -> unit -> t
+  (** [width] (default 16, max 30) is the bit width of the value
+      domain: inputs must lie in [0, 2^width). *)
+
+  val run : t -> input:int -> int
+  (** Execute as the calling process; returns the agreed value.
+      @raise Invalid_argument if [input] is outside the domain. *)
+end

@@ -1,0 +1,28 @@
+type t = { k : int; delta : int; m : int option }
+
+let default = { k = 2; delta = 2; m = None }
+
+let validate t ~n =
+  if t.k <= 0 then invalid_arg "Params: k must be positive";
+  if t.delta <= 0 then invalid_arg "Params: delta must be positive";
+  if n <= 0 then invalid_arg "Params: n must be positive";
+  let threshold = t.delta * n in
+  let m =
+    match t.m with Some m -> m | None -> 4 * threshold * threshold
+  in
+  if m <= threshold then invalid_arg "Params: m must exceed the barrier";
+  (t.k, t.delta, m)
+
+let bits_for x =
+  (* Bits to represent [x] distinct values. *)
+  let rec go acc v = if v >= x then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let register_bits t ~n =
+  let k, _, m = validate t ~n in
+  let pref = 2 (* {⊥, 0, 1} *) in
+  let pointer = bits_for (k + 1) in
+  let coins = (k + 1) * bits_for ((2 * (m + 1)) + 1) in
+  let edges = n * bits_for (3 * k) in
+  let toggle = 1 in
+  pref + pointer + coins + edges + toggle

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Bprc_core Bprc_netsim Bprc_rng Bprc_runtime Bprc_snapshot Bprc_strip List Printf Run Stats String Table

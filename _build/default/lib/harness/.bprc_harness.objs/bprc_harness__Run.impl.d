@@ -1,0 +1,1 @@
+lib/harness/run.ml: Adversary Array Bool Bprc_coin Bprc_core Bprc_rng Bprc_runtime List Printf Sim

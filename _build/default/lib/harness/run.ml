@@ -1,0 +1,236 @@
+open Bprc_runtime
+
+type sched =
+  | Random_sched
+  | Round_robin_sched
+  | Bursty_sched of int
+  | Anti_coin_sched
+  | Osc_coin_sched
+
+let sched_name = function
+  | Random_sched -> "random"
+  | Round_robin_sched -> "round-robin"
+  | Bursty_sched b -> Printf.sprintf "bursty-%d" b
+  | Anti_coin_sched -> "anti-coin (stretch)"
+  | Osc_coin_sched -> "anti-coin (split)"
+
+let find_runnable (ctx : Adversary.ctx) p =
+  Array.to_list ctx.runnable |> List.find_opt p
+
+(* Full-information walk-stretching adversary: publish pending flips
+   that pull the published sum toward zero; otherwise let flip-less
+   processes run (scan or draw a fresh flip); a process whose pending
+   flip would push the sum outward is scheduled only when everyone
+   runnable holds such a flip. *)
+let stretch_adversary ~published_sum ~pending () =
+  let fallback = Adversary.random () in
+  let choose (ctx : Adversary.ctx) =
+    let sum = published_sum () in
+    let toward_zero pid =
+      let d = pending pid in
+      d <> 0 && ((sum > 0 && d < 0) || (sum < 0 && d > 0))
+    in
+    match find_runnable ctx toward_zero with
+    | Some pid -> pid
+    | None -> (
+      match find_runnable ctx (fun pid -> pending pid = 0) with
+      | Some pid -> pid
+      | None -> fallback.Adversary.choose ctx)
+  in
+  Adversary.make ~name:"anti-coin-stretch" choose
+
+(* Full-information disagreement-seeking adversary: drive the published
+   sum across one barrier, dwell there long enough for some processes
+   to observe and decide, then reverse and drive it across the other
+   barrier for the remaining processes. *)
+let oscillation_adversary ~n ~threshold ~published_sum ~pending () =
+  let fallback = Adversary.random () in
+  let regime = ref 1 in
+  let dwell = ref 0 in
+  let choose (ctx : Adversary.ctx) =
+    let sum = published_sum () in
+    if sum * !regime > threshold then begin
+      incr dwell;
+      if !dwell > 8 * n then begin
+        regime := - !regime;
+        dwell := 0
+      end
+    end;
+    let crossed = sum * !regime > threshold in
+    let reinforcing pid = pending pid * !regime > 0 in
+    let clean pid = pending pid = 0 in
+    let preference =
+      if crossed then
+        (* Let observers scan and decide while the sum sits past the
+           barrier. *)
+        match find_runnable ctx clean with
+        | Some pid -> Some pid
+        | None -> find_runnable ctx reinforcing
+      else
+        match find_runnable ctx reinforcing with
+        | Some pid -> Some pid
+        | None -> find_runnable ctx clean
+    in
+    match preference with
+    | Some pid -> pid
+    | None -> fallback.Adversary.choose ctx
+  in
+  Adversary.make ~name:"anti-coin-split" choose
+
+let plain_adversary = function
+  | Random_sched -> Adversary.random ()
+  | Round_robin_sched -> Adversary.round_robin ()
+  | Bursty_sched b -> Adversary.bursty ~burst:b ()
+  | Anti_coin_sched | Osc_coin_sched ->
+    (* Without the coin probes these degrade to random; [coin_once]
+       installs the informed versions. *)
+    Adversary.random ()
+
+(* ------------------------------------------------------------------ *)
+
+type coin_run = {
+  values : bool list;
+  agreed : bool;
+  walk_steps : int;
+  overflows : int;
+  coin_completed : bool;
+}
+
+let coin_once ?(delta = 2) ?m ?(sched = Random_sched) ?(max_steps = 10_000_000)
+    ~n ~seed () =
+  (* The adaptive adversaries need probes into the coin, which exists
+     only after the sim, so the sim gets a mutable adversary slot. *)
+  let slot = ref (plain_adversary Random_sched) in
+  let dispatch = Adversary.make ~name:"dispatch" (fun ctx -> !slot.Adversary.choose ctx) in
+  let sim = Sim.create ~seed ~max_steps ~n ~adversary:dispatch () in
+  let module C = Bprc_coin.Bounded_walk.Make ((val Sim.runtime sim)) in
+  let coin = C.create_custom ~delta ?m ~seed () in
+  let published_sum () = C.published_walk_value coin in
+  let pending pid = C.pending_direction coin pid in
+  (slot :=
+     match sched with
+     | Anti_coin_sched -> stretch_adversary ~published_sum ~pending ()
+     | Osc_coin_sched ->
+       oscillation_adversary ~n ~threshold:(delta * n) ~published_sum ~pending ()
+     | s -> plain_adversary s);
+  let handles = Array.init n (fun _ -> Sim.spawn sim (fun () -> C.flip coin)) in
+  let coin_completed = Sim.run sim = Sim.Completed in
+  let values = Array.to_list handles |> List.filter_map Sim.result in
+  let agreed =
+    match values with
+    | [] -> false
+    | v :: rest -> List.for_all (Bool.equal v) rest
+  in
+  {
+    values;
+    agreed;
+    walk_steps = C.total_walk_steps coin;
+    overflows = C.overflows coin;
+    coin_completed;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type algo = Ads of Bprc_core.Ads89.coin_mode | Ah
+
+let algo_name = function
+  | Ads Bprc_core.Ads89.Shared_walk -> "ADS89 (bounded shared coin)"
+  | Ads Bprc_core.Ads89.Local_flips -> "local-coin (Abrahamson-class)"
+  | Ads Bprc_core.Ads89.Oracle_shared -> "oracle coin (CIL-style)"
+  | Ah -> "AH88-style (unbounded strip)"
+
+type pattern = Unanimous of bool | Split | Random_inputs
+
+let inputs_of_pattern pattern ~n ~seed =
+  match pattern with
+  | Unanimous v -> Array.make n v
+  | Split -> Array.init n (fun i -> i mod 2 = 0)
+  | Random_inputs ->
+    let r = Bprc_rng.Splitmix.create ~seed:(seed * 65537) in
+    Array.init n (fun _ -> Bprc_rng.Splitmix.bool r)
+
+type consensus_run = {
+  completed : bool;
+  steps : int;
+  decisions : bool option array;
+  max_round : int;
+  register_bits : int;
+  walk_steps : int;
+  spec : (unit, string) result;
+}
+
+let drive sim ~max_steps ~crash_at =
+  let pending = ref (List.sort compare crash_at) in
+  let rec go () =
+    (match !pending with
+    | (step, pid) :: rest when Sim.clock sim >= step ->
+      Sim.crash sim pid;
+      pending := rest
+    | _ -> ());
+    if Sim.clock sim >= max_steps then false
+    else if Sim.step sim then go ()
+    else true
+  in
+  go ()
+
+let probe_adversary ~n ~sched ~probe =
+  let published_sum () =
+    Bprc_core.Coin_probe.published_sum_at_front (probe ())
+  in
+  let pending pid = Bprc_core.Coin_probe.pending_at_front (probe ()) pid in
+  match sched with
+  | Anti_coin_sched -> stretch_adversary ~published_sum ~pending ()
+  | Osc_coin_sched ->
+    let threshold = (probe ()).Bprc_core.Coin_probe.threshold in
+    oscillation_adversary ~n ~threshold ~published_sum ~pending ()
+  | s -> plain_adversary s
+
+let consensus_once ?(params = Bprc_core.Params.default)
+    ?(max_steps = 20_000_000) ?(sched = Random_sched) ?(crash_at = []) ~algo
+    ~pattern ~n ~seed () =
+  let inputs = inputs_of_pattern pattern ~n ~seed in
+  let slot = ref (plain_adversary Random_sched) in
+  let adversary =
+    Adversary.make ~name:"dispatch" (fun ctx -> !slot.Adversary.choose ctx)
+  in
+  let sim = Sim.create ~seed ~max_steps ~n ~adversary () in
+  match algo with
+  | Ads mode ->
+    let module C = Bprc_core.Ads89.Make ((val Sim.runtime sim)) in
+    let t = C.create ~params ~coin_mode:mode ~oracle_seed:seed () in
+    slot := probe_adversary ~n ~sched ~probe:(fun () -> C.coin_probe t);
+    let handles =
+      Array.init n (fun i ->
+          Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
+    in
+    let completed = drive sim ~max_steps ~crash_at in
+    let decisions = Array.map Sim.result handles in
+    let st = C.stats t in
+    {
+      completed;
+      steps = Sim.clock sim;
+      decisions;
+      max_round = st.Bprc_core.Ads89.max_raw_round;
+      register_bits = C.register_bits t;
+      walk_steps = st.Bprc_core.Ads89.walk_steps;
+      spec = Bprc_core.Spec.check ~inputs ~decisions;
+    }
+  | Ah ->
+    let module C = Bprc_core.Ah88.Make ((val Sim.runtime sim)) in
+    let t = C.create ~k:params.Bprc_core.Params.k ~delta:params.Bprc_core.Params.delta () in
+    slot := probe_adversary ~n ~sched ~probe:(fun () -> C.coin_probe t);
+    let handles =
+      Array.init n (fun i ->
+          Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
+    in
+    let completed = drive sim ~max_steps ~crash_at in
+    let decisions = Array.map Sim.result handles in
+    {
+      completed;
+      steps = Sim.clock sim;
+      decisions;
+      max_round = C.max_round t;
+      register_bits = C.max_register_bits t;
+      walk_steps = C.total_walk_steps t;
+      spec = Bprc_core.Spec.check ~inputs ~decisions;
+    }

@@ -1,0 +1,76 @@
+(** Scenario runners shared by the experiments, the benchmarks and the
+    CLI.  Everything is deterministic in the given seed. *)
+
+type sched =
+  | Random_sched
+  | Round_robin_sched
+  | Bursty_sched of int
+  | Anti_coin_sched
+      (** Full-information adaptive adversary that stretches the shared
+          coin's walk: it publishes pending (drawn but unpublished)
+          local flips only when they pull the published sum back toward
+          the origin, delaying the barrier crossing. *)
+  | Osc_coin_sched
+      (** Full-information adaptive adversary that manufactures
+          disagreement: it drives the published sum across one barrier,
+          lets some processes observe and decide, then reverses it
+          across the other barrier for the rest. *)
+
+val sched_name : sched -> string
+
+(* ------------------------------------------------------------------ *)
+
+type coin_run = {
+  values : bool list;  (** one per process *)
+  agreed : bool;
+  walk_steps : int;
+  overflows : int;
+  coin_completed : bool;
+}
+
+val coin_once :
+  ?delta:int ->
+  ?m:int ->
+  ?sched:sched ->
+  ?max_steps:int ->
+  n:int ->
+  seed:int ->
+  unit ->
+  coin_run
+(** One standalone bounded-walk shared coin (§3) among [n] simulated
+    processes. *)
+
+(* ------------------------------------------------------------------ *)
+
+type algo =
+  | Ads of Bprc_core.Ads89.coin_mode  (** the paper's protocol (§5) *)
+  | Ah  (** unbounded-strip baseline *)
+
+val algo_name : algo -> string
+
+type pattern = Unanimous of bool | Split | Random_inputs
+
+val inputs_of_pattern : pattern -> n:int -> seed:int -> bool array
+
+type consensus_run = {
+  completed : bool;
+  steps : int;  (** global shared-memory steps until everyone decided *)
+  decisions : bool option array;
+  max_round : int;  (** true round count reached *)
+  register_bits : int;
+      (** [Ads]: the static bound; [Ah]: the grown maximum *)
+  walk_steps : int;
+  spec : (unit, string) result;
+}
+
+val consensus_once :
+  ?params:Bprc_core.Params.t ->
+  ?max_steps:int ->
+  ?sched:sched ->
+  ?crash_at:(int * int) list ->
+  algo:algo ->
+  pattern:pattern ->
+  n:int ->
+  seed:int ->
+  unit ->
+  consensus_run

@@ -1,0 +1,28 @@
+(** Small statistics toolkit for the experiment harness. *)
+
+val mean : float list -> float
+(** 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation; 0 when fewer than 2 points. *)
+
+val ci95 : float list -> float
+(** Half-width of the normal-approximation 95% confidence interval of
+    the mean. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], linear interpolation.
+    @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val loglog_slope : (float * float) list -> float
+(** Least-squares slope of [log y] against [log x]; the empirical
+    polynomial degree of a power-law relation.  Points with
+    non-positive coordinates are dropped. *)
+
+val linear_slope : (float * float) list -> float
+(** Ordinary least-squares slope. *)

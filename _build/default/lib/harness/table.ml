@@ -1,0 +1,75 @@
+type t = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~columns ?(notes = []) rows =
+  List.iter
+    (fun r ->
+      if List.length r <> List.length columns then
+        invalid_arg "Table.make: row width mismatch")
+    rows;
+  { id; title; columns; rows; notes }
+
+let render t =
+  let all = t.columns :: t.rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf
+          (Printf.sprintf " %-*s |" widths.(i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n" t.id t.title);
+  line '-';
+  row t.columns;
+  line '=';
+  List.iter row t.rows;
+  line '-';
+  List.iter (fun n -> Buffer.add_string buf ("  " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  let row cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  row t.columns;
+  List.iter row t.rows;
+  Buffer.contents buf
+
+let fmt_float x =
+  if Float.is_integer x && abs_float x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else if abs_float x >= 100.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.3f" x
+
+let fmt_int = string_of_int

@@ -1,0 +1,23 @@
+(** Aligned ASCII tables (and CSV) for experiment output. *)
+
+type t = {
+  id : string;  (** experiment identifier, e.g. "E2" *)
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;  (** free-form lines printed under the table *)
+}
+
+val make :
+  id:string -> title:string -> columns:string list ->
+  ?notes:string list -> string list list -> t
+
+val render : t -> string
+val print : t -> unit
+val to_csv : t -> string
+
+val fmt_float : float -> string
+(** Compact numeric formatting: integers without decimals, small values
+    with 3 significant decimals. *)
+
+val fmt_int : int -> string

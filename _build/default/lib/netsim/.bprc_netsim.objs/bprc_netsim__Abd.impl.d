@@ -1,0 +1,1 @@
+lib/netsim/abd.ml: Array Bprc_runtime Hashtbl List Netsim

@@ -1,0 +1,1 @@
+lib/netsim/abd.mli: Bprc_runtime

@@ -1,0 +1,1 @@
+lib/netsim/netsim.ml: Array Bprc_rng Bprc_util Effect List Queue

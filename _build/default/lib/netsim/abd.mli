@@ -1,0 +1,51 @@
+(** Attiya–Bar-Noy–Dolev-style emulation of shared atomic registers on
+    the asynchronous message-passing system of {!Netsim}.
+
+    Every node is both a client and a replica.  A write queries a
+    majority for the highest tag, then stores (tag+1, value) at a
+    majority; a read collects (tag, value) from a majority, {e writes
+    the maximum back} to a majority (the famous ABD write-back, which
+    prevents new/old inversions between readers), and returns it.  Tags
+    are (sequence, writer) pairs, so the registers are multi-writer.
+    Majorities always intersect, giving atomicity as long as a majority
+    of nodes is alive — the emulation tolerates ⌈n/2⌉-1 crash failures.
+
+    The result is exposed as a {!Bprc_runtime.Runtime_intf.S}, so the
+    paper's consensus protocol (and everything else in this repository)
+    runs unchanged over a simulated network: register "steps" become
+    quorum round-trips.
+
+    While a client operation awaits acknowledgements the node keeps
+    serving other nodes' replica requests, and a node whose program has
+    finished keeps serving until every node is done (distributed
+    termination via Done broadcasts), so quorums never dry up. *)
+
+type t
+
+type 'a handle
+
+val create : ?seed:int -> ?max_events:int -> n:int -> unit -> t
+(** A fresh network of [n] client/replica nodes. *)
+
+val runtime : t -> (module Bprc_runtime.Runtime_intf.S)
+(** The emulated shared memory.  [read]/[write] cost quorum
+    round-trips; [peek]/[poke] touch a checker-level shadow copy (the
+    latest completed write), not the replicas; [flip] is the node's
+    local coin. *)
+
+val spawn_client : t -> (unit -> 'a) -> 'a handle
+(** Node ids are assigned in spawn order. *)
+
+val run : t -> [ `Completed | `Event_limit | `Deadlock ]
+val result : 'a handle -> 'a option
+
+val crash : t -> int -> unit
+(** Crash-stop a node (client and replica roles both die).  Liveness of
+    the others requires a live majority. *)
+
+val events : t -> int
+val messages_sent : t -> int
+
+val quorum_ops : t -> int
+(** Completed quorum phases (a read performs two, query + write-back,
+    as does a write). *)

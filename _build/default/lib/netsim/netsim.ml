@@ -1,0 +1,200 @@
+open Effect
+open Effect.Deep
+
+module Make (M : sig
+  type msg
+end) =
+struct
+  type packet = { p_src : int; p_dst : int; p_msg : M.msg }
+
+  type _ Effect.t += Net_step : unit Effect.t
+  type _ Effect.t += Net_recv : (int * M.msg) Effect.t
+
+  type status =
+    | Not_started of (unit -> unit)
+    | Suspended of (unit, unit) continuation
+    | Waiting_recv of (int * M.msg, unit) continuation
+    | Running
+    | Finished
+    | Crashed
+
+  type node = {
+    id : int;
+    mutable status : status;
+    mailbox : (int * M.msg) Queue.t;
+    nrng : Bprc_rng.Splitmix.t;
+  }
+
+  type t = {
+    n : int;
+    nodes : node array;
+    in_flight : packet Bprc_util.Vec.t;  (** unordered; adversary picks *)
+    rng : Bprc_rng.Splitmix.t;
+    mutable clock : int;
+    mutable spawned : int;
+    mutable current : int;
+    max_events : int;
+    mutable sent : int;
+  }
+
+  type 'a handle = { cell : 'a option ref }
+
+  type outcome = Completed | Hit_event_limit | Deadlock
+
+  let create ?(seed = 0) ?(max_events = 10_000_000) ~n () =
+    if n <= 0 then invalid_arg "Netsim.create: n must be positive";
+    let master = Bprc_rng.Splitmix.create ~seed in
+    {
+      n;
+      nodes =
+        Array.init n (fun id ->
+            {
+              id;
+              status = Crashed;
+              mailbox = Queue.create ();
+              nrng = Bprc_rng.Splitmix.fork master (id + 1);
+            });
+      in_flight = Bprc_util.Vec.create ();
+      rng = Bprc_rng.Splitmix.fork master 0;
+      clock = 0;
+      spawned = 0;
+      current = -1;
+      max_events;
+      sent = 0;
+    }
+
+  let start_fiber (nd : node) body =
+    match_with
+      (fun () ->
+        body ();
+        nd.status <- Finished)
+      ()
+      {
+        retc = (fun () -> ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Net_step ->
+              Some (fun (k : (a, unit) continuation) -> nd.status <- Suspended k)
+            | Net_recv ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  nd.status <- Waiting_recv k)
+            | _ -> None);
+      }
+
+  let spawn t f =
+    if t.spawned >= t.n then invalid_arg "Netsim.spawn: already spawned n nodes";
+    let id = t.spawned in
+    t.spawned <- t.spawned + 1;
+    let cell = ref None in
+    t.nodes.(id).status <- Not_started (fun () -> cell := Some (f ()));
+    { cell }
+
+  let result h = !(h.cell)
+
+  let crash t id =
+    match t.nodes.(id).status with
+    | Finished -> ()
+    | _ -> t.nodes.(id).status <- Crashed
+
+  let crashed t id = t.nodes.(id).status = Crashed
+  let finished t id = t.nodes.(id).status = Finished
+  let events t = t.clock
+  let messages_sent t = t.sent
+  let me t = t.current
+
+  (* A node is steppable when it can run without a delivery. *)
+  let steppable nd =
+    match nd.status with
+    | Not_started _ | Suspended _ -> true
+    | Waiting_recv _ -> not (Queue.is_empty nd.mailbox)
+    | Running | Finished | Crashed -> false
+
+  let step_node t (nd : node) =
+    t.clock <- t.clock + 1;
+    t.current <- nd.id;
+    (match nd.status with
+    | Not_started body ->
+      nd.status <- Running;
+      start_fiber nd body
+    | Suspended k ->
+      nd.status <- Running;
+      continue k ()
+    | Waiting_recv k ->
+      nd.status <- Running;
+      let m = Queue.pop nd.mailbox in
+      continue k m
+    | Running | Finished | Crashed -> invalid_arg "Netsim: node not steppable");
+    t.current <- -1
+
+  let deliver t idx =
+    t.clock <- t.clock + 1;
+    (* Remove packet [idx] by swapping with the last element. *)
+    let last = Bprc_util.Vec.length t.in_flight - 1 in
+    let p = Bprc_util.Vec.get t.in_flight idx in
+    Bprc_util.Vec.set t.in_flight idx (Bprc_util.Vec.get t.in_flight last);
+    ignore (Bprc_util.Vec.pop t.in_flight);
+    let dst = t.nodes.(p.p_dst) in
+    match dst.status with
+    | Crashed -> () (* dropped *)
+    | _ -> Queue.push (p.p_src, p.p_msg) dst.mailbox
+
+  let run t =
+    if t.spawned < t.n then invalid_arg "Netsim.run: fewer nodes spawned than n";
+    let rec go () =
+      if t.clock >= t.max_events then Hit_event_limit
+      else begin
+        let steppables = ref [] in
+        for i = t.n - 1 downto 0 do
+          if steppable t.nodes.(i) then steppables := i :: !steppables
+        done;
+        let flights = Bprc_util.Vec.length t.in_flight in
+        let choices = List.length !steppables + flights in
+        if choices = 0 then
+          if Array.for_all (fun nd -> nd.status = Finished || nd.status = Crashed)
+               t.nodes
+          then Completed
+          else Deadlock
+        else begin
+          (* Uniform choice over node steps and message deliveries: fair
+             with probability 1, adversarially reordering. *)
+          let c = Bprc_rng.Splitmix.int t.rng choices in
+          (if c < flights then deliver t c
+           else
+             let idx = c - flights in
+             step_node t t.nodes.(List.nth !steppables idx));
+          go ()
+        end
+      end
+    in
+    go ()
+
+  (* --- node-side operations ---------------------------------------- *)
+
+  let send t ~dst m =
+    if dst < 0 || dst >= t.n then invalid_arg "Netsim.send: bad destination";
+    let src = t.current in
+    t.sent <- t.sent + 1;
+    Bprc_util.Vec.push t.in_flight { p_src = src; p_dst = dst; p_msg = m };
+    try perform Net_step with Effect.Unhandled _ -> ()
+
+  let broadcast t m =
+    let src = t.current in
+    for dst = 0 to t.n - 1 do
+      if dst <> src then begin
+        t.sent <- t.sent + 1;
+        Bprc_util.Vec.push t.in_flight { p_src = src; p_dst = dst; p_msg = m }
+      end
+    done;
+    try perform Net_step with Effect.Unhandled _ -> ()
+
+  let recv _t = perform Net_recv
+
+  let yield _t = try perform Net_step with Effect.Unhandled _ -> ()
+
+  let flip t =
+    let nd = t.nodes.(t.current) in
+    Bprc_rng.Splitmix.bool nd.nrng
+end

@@ -1,0 +1,64 @@
+(** Deterministic simulator of an asynchronous message-passing system.
+
+    [n] nodes exchange messages over a fully connected, reliable but
+    {e asynchronous} network: the adversary decides, at every step,
+    whether some node takes a local step or some in-flight message is
+    delivered — so messages can be delayed arbitrarily and reordered
+    per link.  Nodes block on {!recv}; a blocked node becomes runnable
+    when its mailbox is non-empty.  Crash-stop failures are injected
+    with {!crash}.
+
+    This is the substrate for the ABD-style emulation of shared
+    registers ({!Abd}), which in turn lets the paper's shared-memory
+    consensus protocol run unchanged over a network — closing the loop
+    with the Attiya–Bar-Noy–Dolev simulation result.
+
+    Like {!Bprc_runtime.Sim}, processes are effect-handler fibers and
+    every run is deterministic in the seed. *)
+
+module Make (M : sig
+  type msg
+end) : sig
+  type t
+
+  type 'a handle
+
+  type outcome = Completed | Hit_event_limit | Deadlock
+  (** [Deadlock]: every live node is blocked on [recv] and no message
+      is in flight. *)
+
+  val create : ?seed:int -> ?max_events:int -> n:int -> unit -> t
+  (** Random (fair) adversary; [max_events] defaults to 10_000_000. *)
+
+  val spawn : t -> (unit -> 'a) -> 'a handle
+  (** Node ids are assigned in spawn order, 0..n-1. *)
+
+  val run : t -> outcome
+  val result : 'a handle -> 'a option
+  val crash : t -> int -> unit
+  val crashed : t -> int -> bool
+  val finished : t -> int -> bool
+  val events : t -> int
+  (** Steps + deliveries executed so far. *)
+
+  val messages_sent : t -> int
+
+  (* Node-side operations (only valid inside a spawned node): *)
+
+  val me : t -> int
+  val send : t -> dst:int -> M.msg -> unit
+  (** Enqueue a message; one event.  Sending to a crashed node is
+      allowed (the message is dropped at delivery). *)
+
+  val broadcast : t -> M.msg -> unit
+  (** Send to every node except self. *)
+
+  val recv : t -> int * M.msg
+  (** Block until a message arrives; returns (source, message). *)
+
+  val yield : t -> unit
+  (** Relinquish control for one scheduling step. *)
+
+  val flip : t -> bool
+  (** Local fair coin of the calling node (seeded per node). *)
+end

@@ -1,0 +1,1 @@
+lib/registers/bloom_2w.ml: Bool Bprc_runtime

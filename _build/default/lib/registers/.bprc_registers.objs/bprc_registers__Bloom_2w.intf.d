@@ -1,0 +1,1 @@
+lib/registers/bloom_2w.mli: Bprc_runtime

@@ -1,0 +1,1 @@
+lib/registers/bounded_ts.mli: Format

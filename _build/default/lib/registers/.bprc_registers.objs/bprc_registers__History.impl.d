@@ -1,0 +1,1 @@
+lib/registers/history.ml: Bprc_util Fmt

@@ -1,0 +1,1 @@
+lib/registers/history.mli: Format

@@ -1,0 +1,1 @@
+lib/registers/linearize.ml: Array Hashtbl History List

@@ -1,0 +1,1 @@
+lib/registers/linearize.mli: History

@@ -1,0 +1,1 @@
+lib/registers/regular_of_safe.ml: Bool Bprc_runtime Weak

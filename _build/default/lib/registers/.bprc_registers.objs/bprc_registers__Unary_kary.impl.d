@@ -1,0 +1,1 @@
+lib/registers/unary_kary.ml: Array Bprc_runtime Printf Regular_of_safe

@@ -1,0 +1,1 @@
+lib/registers/unary_kary.mli: Bprc_runtime

@@ -1,0 +1,1 @@
+lib/registers/va_swmr.ml: Array Bprc_runtime Printf

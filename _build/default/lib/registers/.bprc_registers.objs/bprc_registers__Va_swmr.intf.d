@@ -1,0 +1,1 @@
+lib/registers/va_swmr.mli: Bprc_runtime

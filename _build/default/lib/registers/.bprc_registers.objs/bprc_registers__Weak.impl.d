@@ -1,0 +1,1 @@
+lib/registers/weak.ml: Array Bprc_runtime Bprc_util

@@ -1,0 +1,39 @@
+type strategy = Single_collect | Reread_winner
+
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  type cell = { v : int; tag : bool }
+
+  type t = {
+    r0 : cell R.reg;  (** written only by writer 0 *)
+    r1 : cell R.reg;  (** written only by writer 1 *)
+    strategy : strategy;
+  }
+
+  let make ?(name = "bloom") ?(strategy = Reread_winner) ~init () =
+    {
+      r0 = R.make_reg ~name:(name ^ ".0") { v = init; tag = false };
+      r1 = R.make_reg ~name:(name ^ ".1") { v = init; tag = false };
+      strategy;
+    }
+
+  let write t ~me v =
+    match me with
+    | 0 ->
+      (* Drive tags equal. *)
+      let other = R.read t.r1 in
+      R.write t.r0 { v; tag = other.tag }
+    | 1 ->
+      (* Drive tags unequal. *)
+      let other = R.read t.r0 in
+      R.write t.r1 { v; tag = not other.tag }
+    | _ -> invalid_arg "Bloom_2w.write: writer id must be 0 or 1"
+
+  let read t =
+    let c0 = R.read t.r0 in
+    let c1 = R.read t.r1 in
+    let winner_is_0 = Bool.equal c0.tag c1.tag in
+    match t.strategy with
+    | Single_collect -> if winner_is_0 then c0.v else c1.v
+    | Reread_winner ->
+      if winner_is_0 then (R.read t.r0).v else (R.read t.r1).v
+end

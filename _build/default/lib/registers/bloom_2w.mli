@@ -1,0 +1,32 @@
+(** Bloom-style construction of a 2-writer multi-reader atomic register
+    from two SWMR atomic registers [B87].
+
+    Each writer owns one underlying register holding [(value, tag)].
+    Writer 0 writes the tag it last saw in writer 1's register (driving
+    the tags {e equal}); writer 1 writes the complement (driving them
+    {e unequal}).  Equal tags therefore mean writer 0 wrote most
+    recently, unequal tags mean writer 1 did.
+
+    A reader collects both registers and, after deciding which writer
+    was last, re-reads that writer's register and returns the re-read
+    value ([Reread_winner]); the naive strategy that returns directly
+    from the first collect ([Single_collect]) is {e not} atomic — the
+    test suite exhibits a new/old inversion for it by exhaustive
+    exploration, and verifies [Reread_winner] over the same space. *)
+
+type strategy =
+  | Single_collect  (** 2 reads; linearizable as {e regular}-like only *)
+  | Reread_winner  (** 3 reads; atomic *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type t
+
+  val make : ?name:string -> ?strategy:strategy -> init:int -> unit -> t
+  (** Default strategy is [Reread_winner]. *)
+
+  val write : t -> me:int -> int -> unit
+  (** [write t ~me v]: [me] must be 0 or 1; costs 2 accesses. *)
+
+  val read : t -> int
+  (** Any process may read. *)
+end

@@ -1,0 +1,68 @@
+type t = { depth : int }
+
+type label = int array  (** trits, index 0 = most significant *)
+
+let create ~n =
+  if n <= 0 then invalid_arg "Bounded_ts.create: n must be positive";
+  { depth = n }
+
+let label_trits l = Array.to_list l
+let initial t = Array.make t.depth 0
+let pp ppf l = Array.iter (fun d -> Fmt.int ppf d) l
+
+(* Successor on the 3-cycle: d+1 beats d. *)
+let succ3 d = (d + 1) mod 3
+let beats a b = a = succ3 b
+
+let dominates a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Bounded_ts.dominates: label size mismatch";
+  let rec go i =
+    if i >= Array.length a then false (* equal labels *)
+    else if a.(i) = b.(i) then go (i + 1)
+    else beats a.(i) b.(i)
+  in
+  go 0
+
+let new_label t ~alive =
+  if List.length alive > t.depth then
+    invalid_arg "Bounded_ts.new_label: too many alive labels";
+  List.iter
+    (fun l ->
+      if Array.length l <> t.depth then
+        invalid_arg "Bounded_ts.new_label: label size mismatch")
+    alive;
+  let fresh = Array.make t.depth 0 in
+  (* Descend: at each level pick a digit that beats or ties every digit
+     present among the labels still to be dominated; recurse on the
+     ties. *)
+  let rec go level labels =
+    if level >= t.depth then ()
+    else begin
+      match labels with
+      | [] -> () (* nothing left to dominate; zeros are fine *)
+      | _ ->
+        let digits =
+          List.map (fun l -> l.(level)) labels |> List.sort_uniq compare
+        in
+        (match digits with
+        | [ a ] ->
+          (* Strictly beat [a]; the suffix no longer matters. *)
+          fresh.(level) <- succ3 a
+        | [ a; b ] ->
+          (* Two cycle values present; one of them beats the other
+             (any 2 of 3 cycle nodes are adjacent).  Take the winner
+             and out-dominate the winners' suffixes one level down. *)
+          let winner = if beats a b then a else b in
+          fresh.(level) <- winner;
+          let ties = List.filter (fun l -> l.(level) = winner) labels in
+          go (level + 1) ties
+        | _ ->
+          (* Three distinct digits cannot arise in a sequential history
+             (the classical invariant); fail loudly if it does. *)
+          invalid_arg
+            "Bounded_ts.new_label: three digit values alive at one level")
+    end
+  in
+  go 0 alive;
+  fresh

@@ -1,0 +1,42 @@
+(** Israeli–Li style {e bounded sequential timestamp system} [IL88] —
+    the classical technique behind "bounded concurrent time-stamp
+    systems are constructible" [DS89], which the paper discusses as the
+    route to bounding the {e exponential} consensus algorithm (and
+    which it bypasses for the polynomial one).
+
+    Labels are strings of [depth] trits ordered by the recursive
+    3-cycle dominance graph: at each level, digit [d+1 mod 3] beats
+    digit [d].  The system hands out labels one at a time (sequential
+    use); a new label always {e dominates} every label currently held.
+    With at most [depth] holders, [depth] trits suffice — the label
+    domain is bounded, unlike integer timestamps.
+
+    The classical invariant makes this work: among the labels alive at
+    any time, the digits at each relevant level span at most two of the
+    three cycle values, so a dominating digit always exists. *)
+
+type t
+
+val create : n:int -> t
+(** A system for up to [n] concurrent label holders (labels are [n]
+    trits long). *)
+
+type label
+
+val label_trits : label -> int list
+(** The digits, most significant first (each 0, 1 or 2). *)
+
+val initial : t -> label
+(** The label every holder starts with (all zeros). *)
+
+val new_label : t -> alive:label list -> label
+(** A fresh label dominating every element of [alive].
+    @raise Invalid_argument when [alive] has more than [n] elements,
+    or on labels from a different system size. *)
+
+val dominates : label -> label -> bool
+(** [dominates a b]: [a] beats [b] in the recursive cyclic order.
+    Irreflexive; for labels produced by a legal sequential history,
+    later labels dominate all labels alive at their creation. *)
+
+val pp : Format.formatter -> label -> unit

@@ -1,0 +1,30 @@
+type kind = R of int | W of int
+
+type op = {
+  pid : int;
+  start_time : int;
+  finish_time : int;
+  kind : kind;
+}
+
+type t = { events : op Bprc_util.Vec.t; mutable counter : int }
+
+let create () = { events = Bprc_util.Vec.create (); counter = 0 }
+
+let stamp t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let record t op = Bprc_util.Vec.push t.events op
+let ops t = Bprc_util.Vec.to_list t.events
+let length t = Bprc_util.Vec.length t.events
+
+let clear t =
+  Bprc_util.Vec.clear t.events;
+  t.counter <- 0
+
+let precedes a b = a.finish_time < b.start_time
+
+let pp_op ppf o =
+  let k, v = match o.kind with R v -> ("R", v) | W v -> ("W", v) in
+  Fmt.pf ppf "p%d:%s(%d)@[%d,%d]" o.pid k v o.start_time o.finish_time

@@ -1,0 +1,37 @@
+(** Operation histories of a single integer-valued register, for
+    feeding the {!Linearize} checker.
+
+    Timestamps come from the history's own event counter ({!stamp}):
+    under the cooperative simulator all process code runs in one thread,
+    so the order in which invocation/response code executes {e is} the
+    real-time order of those events, and stamping them with a monotone
+    counter yields strict, artifact-free intervals (the global step
+    clock cannot distinguish events that occur between two steps). *)
+
+type kind =
+  | R of int  (** a read that returned this value *)
+  | W of int  (** a write of this value *)
+
+type op = {
+  pid : int;
+  start_time : int;  (** stamp taken at the operation's invocation *)
+  finish_time : int;  (** stamp taken at its response *)
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+
+val stamp : t -> int
+(** Next event timestamp; strictly increasing per history. *)
+
+val record : t -> op -> unit
+val ops : t -> op list
+val length : t -> int
+val clear : t -> unit
+
+val precedes : op -> op -> bool
+(** Real-time order: [a] finished before [b] started. *)
+
+val pp_op : Format.formatter -> op -> unit

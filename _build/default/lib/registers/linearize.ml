@@ -1,0 +1,87 @@
+let build ~init ops_list =
+  let ops = Array.of_list ops_list in
+  let n = Array.length ops in
+  if n > 61 then invalid_arg "Linearize: more than 61 operations";
+  (* preds.(i) = bitmask of operations that must precede i in any
+     linearization (real-time order). *)
+  let preds =
+    Array.init n (fun i ->
+        let m = ref 0 in
+        for j = 0 to n - 1 do
+          if j <> i && History.precedes ops.(j) ops.(i) then m := !m lor (1 lsl j)
+        done;
+        !m)
+  in
+  (ops, n, preds, init)
+
+(* Depth-first search for a legal order.  State: set of linearized
+   operations (bitmask) and current register value.  Failed states are
+   memoized.  Returns the chosen order (indices, reversed) or None. *)
+let search (ops, n, preds, init) =
+  let full = (1 lsl n) - 1 in
+  let failed = Hashtbl.create 997 in
+  let rec go mask value acc =
+    if mask = full then Some acc
+    else if Hashtbl.mem failed (mask, value) then None
+    else begin
+      let result = ref None in
+      let i = ref 0 in
+      while !result = None && !i < n do
+        let idx = !i in
+        incr i;
+        let bit = 1 lsl idx in
+        if mask land bit = 0 && preds.(idx) land lnot mask = 0 then begin
+          match ops.(idx).History.kind with
+          | History.R v ->
+            if v = value then result := go (mask lor bit) value (idx :: acc)
+          | History.W v -> result := go (mask lor bit) v (idx :: acc)
+        end
+      done;
+      if !result = None then Hashtbl.add failed (mask, value) ();
+      !result
+    end
+  in
+  go 0 init []
+
+let witness ~init ops_list =
+  let ((ops, _, _, _) as st) = build ~init ops_list in
+  match search st with
+  | None -> None
+  | Some rev_order -> Some (List.rev_map (fun i -> ops.(i)) rev_order)
+
+let atomic ~init ops_list = witness ~init ops_list <> None
+
+let regular ~init ops_list =
+  let writes =
+    List.filter
+      (fun o -> match o.History.kind with History.W _ -> true | _ -> false)
+      ops_list
+    |> List.sort (fun a b -> compare a.History.start_time b.History.start_time)
+  in
+  (* Single-writer assumption: writes must be totally ordered. *)
+  let rec check_disjoint = function
+    | a :: (b :: _ as rest) ->
+      if not (History.precedes a b) then
+        invalid_arg "Linearize.regular: overlapping writes";
+      check_disjoint rest
+    | _ -> ()
+  in
+  check_disjoint writes;
+  let value_of o = match o.History.kind with History.W v | History.R v -> v in
+  let read_ok r =
+    let rv = value_of r in
+    (* Last write that precedes the read. *)
+    let before =
+      List.filter (fun w -> History.precedes w r) writes |> List.rev
+    in
+    let prior_value = match before with w :: _ -> value_of w | [] -> init in
+    let overlapping =
+      List.filter
+        (fun w -> not (History.precedes w r || History.precedes r w))
+        writes
+    in
+    rv = prior_value || List.exists (fun w -> value_of w = rv) overlapping
+  in
+  List.for_all
+    (fun o -> match o.History.kind with History.R _ -> read_ok o | _ -> true)
+    ops_list

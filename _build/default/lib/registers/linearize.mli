@@ -1,0 +1,25 @@
+(** Linearizability checking for single-register histories.
+
+    Decides whether a history of reads and writes on one register admits
+    a total order that (a) extends the real-time precedence order and
+    (b) is legal for an atomic register: every read returns the value of
+    the latest preceding write, or the initial value if none.
+
+    The search is exponential in the worst case (the problem is
+    NP-complete); memoization over (linearized-set, current-value)
+    states makes the histories produced by our tests fast to check.
+    Histories are limited to 61 operations. *)
+
+val atomic : init:int -> History.op list -> bool
+(** [atomic ~init ops] is [true] iff the history is linearizable.
+    @raise Invalid_argument beyond 61 operations. *)
+
+val regular : init:int -> History.op list -> bool
+(** Weaker check, single-writer regularity: every read returns either
+    the value of a write it overlaps, or the value of the last write
+    that precedes it (the initial value when there is none).  Assumes
+    writes are totally ordered by real time (single writer); @raise
+    Invalid_argument if two writes overlap. *)
+
+val witness : init:int -> History.op list -> History.op list option
+(** Like {!atomic} but returns a legal linear order when one exists. *)

@@ -1,0 +1,22 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  module W = Weak.Make (R)
+
+  type t = {
+    bit : W.t;
+    mutable last : bool;  (** writer's private cache *)
+  }
+
+  let make ?(name = "reg-of-safe") ~init () =
+    {
+      bit = W.make ~name (W.Safe { domain = 2 }) ~init:(Bool.to_int init);
+      last = init;
+    }
+
+  let read t = W.read t.bit = 1
+
+  let write t b =
+    if b <> t.last then begin
+      W.write t.bit (Bool.to_int b);
+      t.last <- b
+    end
+end

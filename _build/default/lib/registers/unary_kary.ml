@@ -1,0 +1,32 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  module Bit = Regular_of_safe.Make (R)
+
+  type t = { bits : Bit.t array; k : int }
+
+  let make ?(name = "kary") ~k ~init () =
+    if k <= 0 then invalid_arg "Unary_kary.make: k must be positive";
+    if init < 0 || init >= k then invalid_arg "Unary_kary.make: init out of range";
+    let bits =
+      Array.init k (fun i ->
+          Bit.make ~name:(Printf.sprintf "%s.b%d" name i) ~init:(i = init) ())
+    in
+    { bits; k }
+
+  let write t v =
+    if v < 0 || v >= t.k then invalid_arg "Unary_kary.write: value out of range";
+    Bit.write t.bits.(v) true;
+    for j = v - 1 downto 0 do
+      Bit.write t.bits.(j) false
+    done
+
+  let read t =
+    let rec scan i =
+      if i >= t.k then
+        (* Unreachable when the single-writer discipline holds: some bit
+           at or above the current value is always set.  Be defensive. *)
+        t.k - 1
+      else if Bit.read t.bits.(i) then i
+      else scan (i + 1)
+    in
+    scan 0
+end

@@ -1,0 +1,49 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  type pair = { seq : int; v : int }
+
+  type t = {
+    readers : int;
+    from_writer : pair R.reg array;  (** [from_writer.(j)]: writer → reader j *)
+    between : pair R.reg array array;
+        (** [between.(i).(j)]: reader i → reader j, i ≠ j *)
+    mutable wseq : int;  (** writer-private *)
+  }
+
+  let make ?(name = "va") ~readers ~init () =
+    if readers <= 0 then invalid_arg "Va_swmr.make: readers must be positive";
+    let zero = { seq = 0; v = init } in
+    {
+      readers;
+      from_writer =
+        Array.init readers (fun j ->
+            R.make_reg ~name:(Printf.sprintf "%s.w%d" name j) zero);
+      between =
+        Array.init readers (fun i ->
+            Array.init readers (fun j ->
+                R.make_reg ~name:(Printf.sprintf "%s.r%d.%d" name i j) zero));
+      wseq = 0;
+    }
+
+  let write t v =
+    t.wseq <- t.wseq + 1;
+    let p = { seq = t.wseq; v } in
+    for j = 0 to t.readers - 1 do
+      R.write t.from_writer.(j) p
+    done
+
+  let read t ~me =
+    if me < 0 || me >= t.readers then invalid_arg "Va_swmr.read: bad reader id";
+    let best = ref (R.read t.from_writer.(me)) in
+    for j = 0 to t.readers - 1 do
+      if j <> me then begin
+        let p = R.read t.between.(j).(me) in
+        if p.seq > !best.seq then best := p
+      end
+    done;
+    for j = 0 to t.readers - 1 do
+      if j <> me then R.write t.between.(me).(j) !best
+    done;
+    !best.v
+
+  let max_seq t = t.wseq
+end

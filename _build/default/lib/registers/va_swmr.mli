@@ -1,0 +1,32 @@
+(** Vitányi–Awerbuch-style construction of a single-writer multi-reader
+    {e atomic} register from single-writer single-reader atomic
+    registers, using unbounded sequence numbers.
+
+    The writer keeps a private sequence counter and broadcasts
+    [(seq, v)] to one SWSR register per reader.  A reader collects its
+    own copy plus what every other reader last reported, adopts the pair
+    with the largest sequence number, reports it back to all readers,
+    and returns the value.  The report-back step is what prevents
+    new/old inversions between different readers.
+
+    The paper's bibliography points at bounded versions ([IL88, DS89]);
+    the unbounded one is implemented here as the classical reference
+    point, and its timestamp growth is one of the unbounded costs the
+    paper's own constructions avoid. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type t
+
+  val make : ?name:string -> readers:int -> init:int -> unit -> t
+  (** [readers] is the number of distinct reading processes; reader
+      identities are [0 .. readers-1]. *)
+
+  val write : t -> int -> unit
+  (** Writer-only; costs [readers] register writes. *)
+
+  val read : t -> me:int -> int
+  (** [read t ~me] for reader [me]; costs [2*readers - 1] accesses. *)
+
+  val max_seq : t -> int
+  (** Largest timestamp issued so far (space-accounting probe). *)
+end

@@ -1,0 +1,101 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  type semantics = Safe of { domain : int } | Regular
+
+  type write_rec = {
+    w_start : int;
+    mutable w_finish : int;  (** [max_int] while in progress *)
+    w_value : int;
+  }
+
+  type t = {
+    sem : semantics;
+    activity : int R.reg;  (** counts write starts *)
+    value : int R.reg;
+    writes : write_rec Bprc_util.Vec.t;  (** metadata, not shared memory *)
+    init : int;
+  }
+
+  let make ?(name = "weak") sem ~init =
+    (match sem with
+    | Safe { domain } ->
+      if domain <= 0 then invalid_arg "Weak.make: domain must be positive";
+      if init < 0 || init >= domain then
+        invalid_arg "Weak.make: init outside domain"
+    | Regular -> ());
+    {
+      sem;
+      activity = R.make_reg ~name:(name ^ ".act") 0;
+      value = R.make_reg ~name:(name ^ ".val") init;
+      writes = Bprc_util.Vec.create ();
+      init;
+    }
+
+  let write t v =
+    (match t.sem with
+    | Safe { domain } ->
+      if v < 0 || v >= domain then invalid_arg "Weak.write: value outside domain"
+    | Regular -> ());
+    R.write t.activity (R.peek t.activity + 1);
+    let rec_ = { w_start = R.now (); w_finish = max_int; w_value = v } in
+    Bprc_util.Vec.push t.writes rec_;
+    R.write t.value v;
+    rec_.w_finish <- R.now ()
+
+  (* A choice in [0, k) driven by runtime flips, so the explorer
+     enumerates every resolution of an arbitrary read.  Slightly biased
+     toward low indices when k is not a power of two (rejection
+     sampling would give the explorer unbounded flip branches); any
+     candidate is semantically legal, so the bias is harmless. *)
+  let flip_choice k =
+    if k <= 1 then 0
+    else begin
+      let bits = ref 0 in
+      let width = ref 1 in
+      while !width < k do
+        width := !width * 2;
+        bits := (2 * !bits) + if R.flip () then 1 else 0
+      done;
+      !bits mod k
+    end
+
+  (* Value of the last write completed strictly before [time]. *)
+  let committed_before t time =
+    let best = ref None in
+    Bprc_util.Vec.iter
+      (fun w ->
+        if w.w_finish < time then
+          match !best with
+          | Some b when b.w_finish >= w.w_finish -> ()
+          | _ -> best := Some w)
+      t.writes;
+    match !best with Some w -> w.w_value | None -> t.init
+
+  let overlapping t ~rd_start ~rd_end =
+    Bprc_util.Vec.fold
+      (fun acc w ->
+        if w.w_start <= rd_end && w.w_finish >= rd_start then w.w_value :: acc
+        else acc)
+      [] t.writes
+
+  let read t =
+    let a0 = R.read t.activity in
+    let rd_start = R.now () in
+    let v = R.read t.value in
+    let a1 = R.read t.activity in
+    let rd_end = R.now () in
+    if a0 = a1 then
+      (* No write started during the read window; [v] is the committed
+         value (a write begun earlier but unfinished would count as
+         overlap, and returning the old value is legal for both
+         semantics). *)
+      v
+    else
+      match t.sem with
+      | Safe { domain } -> flip_choice domain
+      | Regular ->
+        let candidates =
+          committed_before t rd_start :: overlapping t ~rd_start ~rd_end
+        in
+        let arr = Array.of_list candidates in
+        arr.(flip_choice (Array.length arr))
+end

@@ -1,0 +1,33 @@
+(** Simulated {e safe} and {e regular} single-writer registers.
+
+    The simulator's native registers are atomic (one indivisible step
+    per access).  To exercise the classical register constructions the
+    paper cites, weaker registers are modelled by spreading each
+    operation over several scheduling steps and resolving reads that
+    overlap writes according to the chosen semantics:
+
+    - {e safe}: an overlapped read returns an arbitrary value of the
+      domain;
+    - {e regular}: an overlapped read returns the previous value or the
+      value of any overlapping write.
+
+    Reads cost 3 simulator steps (plus flips when overlapped) and
+    writes 2.  The arbitrary choices are drawn through {!val:flip} of
+    the runtime, so the exhaustive explorer enumerates them and seeded
+    simulations replay them.  Only meaningful under {!Bprc_runtime.Sim}
+    (the overlap bookkeeping is not thread-safe). *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type semantics =
+    | Safe of { domain : int }  (** values are [0 .. domain-1] *)
+    | Regular
+
+  type t
+
+  val make : ?name:string -> semantics -> init:int -> t
+  val read : t -> int
+
+  val write : t -> int -> unit
+  (** Single-writer discipline is the caller's obligation, as in the
+      paper's model. *)
+end

@@ -1,0 +1,26 @@
+let bernoulli rng ~p = Splitmix.float rng < p
+
+let uniform_pick rng arr =
+  if Array.length arr = 0 then invalid_arg "Dist.uniform_pick: empty array";
+  arr.(Splitmix.int rng (Array.length arr))
+
+let shuffle_in_place rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Splitmix.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let geometric rng ~p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Dist.geometric: p must be in (0,1]";
+  if p = 1.0 then 0
+  else
+    let u = Splitmix.float rng in
+    (* Inverse CDF; [log1p (-.u)] avoids log 0. *)
+    int_of_float (floor (log1p (-.u) /. log1p (-.p)))
+
+let exponential rng ~rate =
+  if not (rate > 0.0) then invalid_arg "Dist.exponential: rate must be positive";
+  let u = Splitmix.float rng in
+  -.log1p (-.u) /. rate

@@ -1,0 +1,18 @@
+(** Small distribution and sampling helpers over {!Splitmix}. *)
+
+val bernoulli : Splitmix.t -> p:float -> bool
+(** [bernoulli rng ~p] is [true] with probability [p]. *)
+
+val uniform_pick : Splitmix.t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle_in_place : Splitmix.t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val geometric : Splitmix.t -> p:float -> int
+(** Number of failures before the first success of a Bernoulli([p])
+    sequence; [p] must lie in (0, 1]. *)
+
+val exponential : Splitmix.t -> rate:float -> float
+(** Exponential variate with the given rate. *)

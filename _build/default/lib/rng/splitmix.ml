@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (next64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  if bound <= 1 lsl 30 then begin
+    (* Rejection sampling over 30 bits to avoid modulo bias. *)
+    let limit = (1 lsl 30) / bound * bound in
+    let rec draw () =
+      let r = bits30 t in
+      if r < limit then r mod bound else draw ()
+    in
+    draw ()
+  end
+  else begin
+    (* Wide bound: use 62 bits. *)
+    let mask = (1 lsl 62) - 1 in
+    let limit = mask / bound * bound in
+    let rec draw () =
+      let r = Int64.to_int (Int64.shift_right_logical (next64 t) 2) land mask in
+      if r < limit then r mod bound else draw ()
+    in
+    draw ()
+  end
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let r = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
+  float_of_int r *. (1.0 /. 9007199254740992.0)
+
+let split t =
+  let s = next64 t in
+  { state = mix64 s }
+
+let fork t i =
+  let s = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) 0xC2B2AE3D27D4EB4FL) in
+  { state = mix64 s }

@@ -1,0 +1,1 @@
+lib/runtime/adversary.ml: Array Bprc_rng List Printf Trace

@@ -1,0 +1,1 @@
+lib/runtime/adversary.mli: Bprc_rng Trace

@@ -1,0 +1,1 @@
+lib/runtime/explore.ml: Adversary Array Bprc_util Runtime_intf Sim

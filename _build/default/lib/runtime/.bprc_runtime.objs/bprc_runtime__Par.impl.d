@@ -1,0 +1,1 @@
+lib/runtime/par.ml: Array Atomic Bprc_rng Domain Hashtbl Mutex Runtime_intf Thread

@@ -1,0 +1,1 @@
+lib/runtime/par.mli: Runtime_intf

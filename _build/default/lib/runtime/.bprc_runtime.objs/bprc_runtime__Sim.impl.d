@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Adversary Array Bprc_rng Effect Printf Runtime_intf Trace

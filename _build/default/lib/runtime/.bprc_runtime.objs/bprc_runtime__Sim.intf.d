@@ -1,0 +1,1 @@
+lib/runtime/sim.mli: Adversary Runtime_intf Trace

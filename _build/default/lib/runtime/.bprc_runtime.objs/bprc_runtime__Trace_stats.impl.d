@@ -1,0 +1,1 @@
+lib/runtime/trace_stats.ml: Array Fmt Hashtbl List Option Trace

@@ -1,0 +1,1 @@
+lib/runtime/trace_stats.mli: Format Trace

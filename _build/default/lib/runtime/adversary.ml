@@ -1,0 +1,67 @@
+type ctx = {
+  clock : int;
+  runnable : int array;
+  rng : Bprc_rng.Splitmix.t;
+  trace : Trace.t option;
+}
+
+type t = { name : string; choose : ctx -> int }
+
+let make ~name choose = { name; choose }
+
+let round_robin () =
+  let next = ref 0 in
+  let choose ctx =
+    (* Smallest runnable pid strictly greater than the previous pick,
+       wrapping around: fair in any execution. *)
+    let candidates = ctx.runnable in
+    let m = Array.length candidates in
+    let rec find i = if candidates.(i) >= !next then candidates.(i) else if i + 1 < m then find (i + 1) else candidates.(0) in
+    let pid = find 0 in
+    next := pid + 1;
+    pid
+  in
+  make ~name:"round-robin" choose
+
+let random () =
+  let choose ctx = Bprc_rng.Dist.uniform_pick ctx.rng ctx.runnable in
+  make ~name:"random" choose
+
+let bursty ~burst () =
+  if burst <= 0 then invalid_arg "Adversary.bursty: burst must be positive";
+  let current = ref (-1) in
+  let remaining = ref 0 in
+  let choose ctx =
+    let still_runnable pid = Array.exists (fun p -> p = pid) ctx.runnable in
+    if !remaining > 0 && still_runnable !current then begin
+      decr remaining;
+      !current
+    end
+    else begin
+      current := Bprc_rng.Dist.uniform_pick ctx.rng ctx.runnable;
+      remaining := burst - 1;
+      !current
+    end
+  in
+  make ~name:(Printf.sprintf "bursty-%d" burst) choose
+
+let prioritize ~favored () =
+  let rr = round_robin () in
+  let choose ctx =
+    let runnable pid = Array.exists (fun p -> p = pid) ctx.runnable in
+    match List.find_opt runnable favored with
+    | Some pid -> pid
+    | None -> rr.choose ctx
+  in
+  make ~name:"prioritize" choose
+
+let scripted ~choices ~fallback () =
+  let script = ref choices in
+  let choose ctx =
+    match !script with
+    | [] -> fallback.choose ctx
+    | c :: rest ->
+      script := rest;
+      ctx.runnable.(c mod Array.length ctx.runnable)
+  in
+  make ~name:"scripted" choose

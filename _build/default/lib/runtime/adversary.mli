@@ -1,0 +1,37 @@
+(** Scheduling adversaries for the simulator.
+
+    An adversary chooses, at every step, which runnable process moves
+    next.  The paper's adversary is adaptive and has full information;
+    {!make} lets experiment code build such adversaries by closing over
+    the simulated registers (via [peek]) and the trace. *)
+
+type ctx = {
+  clock : int;
+  runnable : int array;  (** pids that may be scheduled, sorted ascending *)
+  rng : Bprc_rng.Splitmix.t;  (** adversary's own randomness stream *)
+  trace : Trace.t option;  (** full history if recording was enabled *)
+}
+
+type t = { name : string; choose : ctx -> int }
+
+val make : name:string -> (ctx -> int) -> t
+
+val round_robin : unit -> t
+(** Cycles fairly over runnable processes. *)
+
+val random : unit -> t
+(** Picks a uniformly random runnable process each step. *)
+
+val bursty : burst:int -> unit -> t
+(** Picks a random process and runs it for [burst] consecutive steps
+    (or until it finishes) before picking again.  Models processes
+    running at wildly different speeds. *)
+
+val prioritize : favored:int list -> unit -> t
+(** Always schedules the first runnable pid of [favored]; falls back to
+    round-robin over the rest.  Starves the unfavored as long as the
+    favored can run — useful for wait-freedom tests. *)
+
+val scripted : choices:int list -> fallback:t -> unit -> t
+(** Follows [choices] (each an index into the sorted runnable array,
+    taken modulo its length), then defers to [fallback]. *)

@@ -1,0 +1,64 @@
+type stats = {
+  runs : int;
+  exhausted : bool;
+  step_limited_runs : int;
+}
+
+let search ~n ?(max_steps = 2000) ?(max_runs = 200_000) ~setup () =
+  let script = ref [||] in
+  let exhausted = ref false in
+  let runs = ref 0 in
+  let limited = ref 0 in
+  let keep_going = ref true in
+  while !keep_going do
+    incr runs;
+    let cursor = ref 0 in
+    let taken = Bprc_util.Vec.create () in
+    (* One decision point: replay the script prefix, then always take
+       branch 0, recording (choice, arity) for backtracking.  Unary
+       decisions are skipped entirely so they never inflate the tree. *)
+    let decide arity =
+      if arity <= 1 then 0
+      else begin
+        let c =
+          if !cursor < Array.length !script then !script.(!cursor) else 0
+        in
+        Bprc_util.Vec.push taken (c, arity);
+        incr cursor;
+        c
+      end
+    in
+    let adversary =
+      Adversary.make ~name:"explore" (fun ctx ->
+          ctx.runnable.(decide (Array.length ctx.runnable)))
+    in
+    let sim = Sim.create ~seed:0 ~max_steps ~n ~adversary () in
+    Sim.set_flip_source sim (fun ~pid:_ -> decide 2 = 1);
+    let (module R) = Sim.runtime sim in
+    let body, check = setup (module R : Runtime_intf.S) in
+    for i = 0 to n - 1 do
+      ignore (Sim.spawn sim (fun () -> body i))
+    done;
+    (match Sim.run sim with
+    | Sim.Hit_step_limit -> incr limited
+    | Sim.Completed -> ());
+    check sim;
+    (* Backtrack: bump the deepest decision that still has an untried
+       branch and truncate everything below it. *)
+    let arr = Bprc_util.Vec.to_array taken in
+    let rec cut i =
+      if i < 0 then None
+      else
+        let c, a = arr.(i) in
+        if c + 1 < a then
+          Some (Array.append (Array.map fst (Array.sub arr 0 i)) [| c + 1 |])
+        else cut (i - 1)
+    in
+    (match cut (Array.length arr - 1) with
+    | None ->
+      exhausted := true;
+      keep_going := false
+    | Some s -> script := s);
+    if !runs >= max_runs then keep_going := false
+  done;
+  { runs = !runs; exhausted = !exhausted; step_limited_runs = !limited }

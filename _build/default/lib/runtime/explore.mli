@@ -1,0 +1,33 @@
+(** Bounded exhaustive exploration of schedules and coin outcomes
+    (stateless model checking by replay).
+
+    Enumerates, depth-first, every sequence of adversary choices (which
+    runnable process steps next) and coin-flip outcomes, re-running the
+    system from scratch along each branch.  Feasible only for tiny
+    configurations, where it provides {e proofs by exhaustion} of
+    properties such as register linearizability, snapshot validity, and
+    2-process consensus agreement. *)
+
+type stats = {
+  runs : int;  (** complete executions explored *)
+  exhausted : bool;  (** [true] when the whole tree was covered *)
+  step_limited_runs : int;  (** runs cut short by [max_steps] *)
+}
+
+val search :
+  n:int ->
+  ?max_steps:int ->
+  ?max_runs:int ->
+  setup:((module Runtime_intf.S) -> (int -> unit) * (Sim.t -> unit)) ->
+  unit ->
+  stats
+(** [search ~n ~setup ()] explores executions of the system described by
+    [setup].  For each run, [setup runtime] must create fresh shared
+    state and return [(body, check)]: [body i] is the code of process
+    [i] and [check sim] is called after the run completes (raise to
+    signal a property violation; the exception propagates).
+
+    [max_steps] (default 2000) bounds each run's length; runs hitting it
+    are counted in [step_limited_runs] but their prefix tree is still
+    explored.  [max_runs] (default 200_000) bounds the total number of
+    executions; when reached, [exhausted] is [false]. *)

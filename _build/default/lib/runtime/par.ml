@@ -1,0 +1,92 @@
+let pid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+(* Fallback pid storage for the systhread mode, where all process
+   threads share one domain's DLS. *)
+let thread_pids : (int, int) Hashtbl.t = Hashtbl.create 32
+let thread_pids_mu = Mutex.create ()
+
+let set_thread_pid pid =
+  Mutex.lock thread_pids_mu;
+  Hashtbl.replace thread_pids (Thread.id (Thread.self ())) pid;
+  Mutex.unlock thread_pids_mu
+
+let get_thread_pid () =
+  Mutex.lock thread_pids_mu;
+  let r = Hashtbl.find_opt thread_pids (Thread.id (Thread.self ())) in
+  Mutex.unlock thread_pids_mu;
+  r
+
+let make_runtime ?(seed = 0) ~n () : (module Runtime_intf.S) =
+  let master = Bprc_rng.Splitmix.create ~seed in
+  let rngs = Array.init n (fun i -> Bprc_rng.Splitmix.fork master (i + 1)) in
+  let clock = Atomic.make 0 in
+  let next_reg_id = Atomic.make 0 in
+  (module struct
+    type 'a reg = { cell : 'a Atomic.t; id : int; name : string }
+
+    let make_reg ?(name = "r") v =
+      { cell = Atomic.make v; id = Atomic.fetch_and_add next_reg_id 1; name }
+
+    let tick () = ignore (Atomic.fetch_and_add clock 1)
+
+    let read r =
+      tick ();
+      Atomic.get r.cell
+
+    let write r v =
+      tick ();
+      Atomic.set r.cell v
+
+    let peek r = Atomic.get r.cell
+    let poke r v = Atomic.set r.cell v
+
+    let pid () =
+      let p = Domain.DLS.get pid_key in
+      if p >= 0 then p
+      else match get_thread_pid () with Some p -> p | None -> -1
+
+    let flip () =
+      let p = pid () in
+      if p < 0 then invalid_arg "Par.flip: not inside a process";
+      Bprc_rng.Splitmix.bool rngs.(p)
+
+    let n = n
+    let now () = Atomic.get clock
+    let yield () = tick ()
+  end : Runtime_intf.S)
+
+type 'a slot = Empty | Value of 'a | Error of exn
+
+let run ?(seed = 0) ?runtime ~n f =
+  let rt =
+    match runtime with Some rt -> rt | None -> make_runtime ~seed ~n ()
+  in
+  let results = Array.make n Empty in
+  let body ~use_dls i () =
+    (* In domain mode the pid lives in DLS; in systhread mode all
+       threads share one domain's DLS, so the pid goes in the
+       thread-id-keyed map instead. *)
+    if use_dls then Domain.DLS.set pid_key i else set_thread_pid i;
+    match f rt i with
+    | v -> results.(i) <- Value v
+    | exception e -> results.(i) <- Error e
+  in
+  let max_domains = max 1 (Domain.recommended_domain_count () - 1) in
+  if n <= max_domains then begin
+    let domains = Array.init n (fun i -> Domain.spawn (body ~use_dls:true i)) in
+    Array.iter Domain.join domains
+  end
+  else begin
+    (* More processes than cores: preemptive systhreads still give
+       genuine interleaving, just not full parallelism. *)
+    let threads =
+      Array.init n (fun i -> Thread.create (body ~use_dls:false i) ())
+    in
+    Array.iter Thread.join threads
+  end;
+  Array.map
+    (function
+      | Value v -> v
+      | Error e -> raise e
+      | Empty -> failwith "Par.run: process produced no result")
+    results

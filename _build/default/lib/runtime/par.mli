@@ -1,0 +1,25 @@
+(** True-parallelism runtime over OCaml 5 domains.
+
+    Registers are [Atomic.t] cells, so reads and writes are multicore
+    atomic (sequentially consistent in the OCaml memory model), which is
+    exactly the atomic-register primitive the paper assumes.  Logical
+    time is a shared fetch-and-add counter.
+
+    Spawns at most [Domain.recommended_domain_count] heavy domains; when
+    [n] exceeds that, processes are multiplexed onto systhreads, which
+    still interleave preemptively. *)
+
+val make_runtime : ?seed:int -> n:int -> unit -> (module Runtime_intf.S)
+(** A fresh parallel runtime.  Useful for allocating shared objects
+    before launching the processes with {!run}. *)
+
+val run :
+  ?seed:int ->
+  ?runtime:(module Runtime_intf.S) ->
+  n:int ->
+  ((module Runtime_intf.S) -> int -> 'a) ->
+  'a array
+(** [run ~n f] launches [n] processes where process [i] computes
+    [f runtime i], waits for all, and returns their results in pid
+    order.  Exceptions in a process are re-raised.  When [runtime] is
+    omitted a fresh one is created. *)

@@ -1,0 +1,48 @@
+(** The abstract shared-memory machine every algorithm in this
+    repository is written against.
+
+    An implementation provides atomic registers, the identity of the
+    calling process, and a local coin flip.  Two implementations exist:
+    {!Sim} (a deterministic, adversary-scheduled simulator in which one
+    register access is one scheduling step — the cost model of the
+    paper) and {!Par} (OCaml 5 domains over [Atomic.t] cells). *)
+
+module type S = sig
+  type 'a reg
+  (** An atomic multi-reader register.  Write discipline (single-writer
+      for the snapshot's [V_i], two-writer for the handshake [A_ij]) is
+      by convention of the algorithms, not enforced here. *)
+
+  val make_reg : ?name:string -> 'a -> 'a reg
+  (** Allocate a register with an initial value.  Not a step. *)
+
+  val read : 'a reg -> 'a
+  (** Atomic read; one step. *)
+
+  val write : 'a reg -> 'a -> unit
+  (** Atomic write; one step. *)
+
+  val peek : 'a reg -> 'a
+  (** Checker-only inspection: current value, no step, not recorded. *)
+
+  val poke : 'a reg -> 'a -> unit
+  (** Checker/test-only mutation, no step, not recorded. *)
+
+  val flip : unit -> bool
+  (** Local fair coin flip of the calling process.  One step (so a
+      strong adversary can observe the outcome before the subsequent
+      write is scheduled, as in the paper's adversary model). *)
+
+  val pid : unit -> int
+  (** Identity of the calling process, in [0 .. n-1]. *)
+
+  val n : int
+  (** Number of processes. *)
+
+  val now : unit -> int
+  (** Logical global time: the number of shared-memory steps executed so
+      far system-wide.  Used by correctness checkers. *)
+
+  val yield : unit -> unit
+  (** An explicit no-op step. *)
+end

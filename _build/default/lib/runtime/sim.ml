@@ -1,0 +1,228 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield_step : unit Effect.t
+type _ Effect.t += Flip_coin : bool Effect.t
+
+type status =
+  | Not_started of (unit -> unit)
+  | Suspended of (unit, unit) continuation
+  | Pending_flip of (bool, unit) continuation
+  | Running
+  | Finished
+  | Crashed
+
+type proc = {
+  ppid : int;
+  mutable status : status;
+  mutable steps : int;
+  mutable flips : int;
+  prng : Bprc_rng.Splitmix.t;
+}
+
+type t = {
+  n : int;
+  procs : proc array;
+  mutable clock : int;
+  mutable spawned : int;
+  rng : Bprc_rng.Splitmix.t;  (* adversary stream *)
+  tr : Trace.t option;
+  max_steps : int;
+  mutable current : int;
+  adversary : Adversary.t;
+  mutable next_reg_id : int;
+  mutable flip_source : (pid:int -> bool) option;
+}
+
+type 'a handle = { cell : 'a option ref }
+
+type outcome = Completed | Hit_step_limit
+
+let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false) ~n
+    ~adversary () =
+  if n <= 0 then invalid_arg "Sim.create: n must be positive";
+  let master = Bprc_rng.Splitmix.create ~seed in
+  let procs =
+    Array.init n (fun i ->
+        {
+          ppid = i;
+          status = Crashed (* replaced at spawn *);
+          steps = 0;
+          flips = 0;
+          prng = Bprc_rng.Splitmix.fork master (i + 1);
+        })
+  in
+  {
+    n;
+    procs;
+    clock = 0;
+    spawned = 0;
+    rng = Bprc_rng.Splitmix.fork master 0;
+    tr = (if record_trace then Some (Trace.create ()) else None);
+    max_steps;
+    current = -1;
+    adversary;
+    next_reg_id = 0;
+    flip_source = None;
+  }
+
+let record t pid reg_id reg_name kind =
+  match t.tr with
+  | None -> ()
+  | Some tr -> Trace.record tr { Trace.time = t.clock; pid; reg_id; reg_name; kind }
+
+let note t ~pid s = record t pid (-1) "" (Trace.Note s)
+
+(* Run or resume a fiber of process [p] until it suspends or finishes.
+   Deep handlers keep the handler installed across resumptions, so this
+   wrapper is only entered for the initial start. *)
+let start_fiber (p : proc) (body : unit -> unit) =
+  match_with
+    (fun () ->
+      body ();
+      p.status <- Finished)
+    ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield_step ->
+            Some
+              (fun (k : (a, unit) continuation) -> p.status <- Suspended k)
+          | Flip_coin ->
+            Some
+              (fun (k : (a, unit) continuation) -> p.status <- Pending_flip k)
+          | _ -> None);
+    }
+
+let draw_flip t (p : proc) =
+  let b =
+    match t.flip_source with
+    | Some f -> f ~pid:p.ppid
+    | None -> Bprc_rng.Splitmix.bool p.prng
+  in
+  p.flips <- p.flips + 1;
+  record t p.ppid (-1) "" (Trace.Flip b);
+  b
+
+(* Execute one atomic step of process [pid]. *)
+let step_pid t pid =
+  let p = t.procs.(pid) in
+  t.clock <- t.clock + 1;
+  p.steps <- p.steps + 1;
+  t.current <- pid;
+  (match p.status with
+  | Not_started body ->
+    p.status <- Running;
+    start_fiber p body
+  | Suspended k ->
+    p.status <- Running;
+    continue k ()
+  | Pending_flip k ->
+    p.status <- Running;
+    let b = draw_flip t p in
+    continue k b
+  | Running | Finished | Crashed ->
+    invalid_arg "Sim.step_pid: process not runnable");
+  t.current <- -1
+
+let runnable_pids t =
+  let out = ref [] in
+  for i = t.n - 1 downto 0 do
+    match t.procs.(i).status with
+    | Not_started _ | Suspended _ | Pending_flip _ -> out := i :: !out
+    | Running | Finished | Crashed -> ()
+  done;
+  Array.of_list !out
+
+let step t =
+  let runnable = runnable_pids t in
+  if Array.length runnable = 0 then false
+  else begin
+    let ctx = { Adversary.clock = t.clock; runnable; rng = t.rng; trace = t.tr } in
+    let pid = t.adversary.choose ctx in
+    if not (Array.exists (fun p -> p = pid) runnable) then
+      invalid_arg
+        (Printf.sprintf "Sim.step: adversary %s chose non-runnable pid %d"
+           t.adversary.name pid);
+    step_pid t pid;
+    true
+  end
+
+let run t =
+  if t.spawned < t.n then
+    invalid_arg "Sim.run: fewer processes spawned than n";
+  let rec go () =
+    if t.clock >= t.max_steps then Hit_step_limit
+    else if step t then go ()
+    else Completed
+  in
+  go ()
+
+let spawn t f =
+  if t.spawned >= t.n then invalid_arg "Sim.spawn: already spawned n processes";
+  let pid = t.spawned in
+  t.spawned <- t.spawned + 1;
+  let cell = ref None in
+  let body () = cell := Some (f ()) in
+  t.procs.(pid).status <- Not_started body;
+  { cell }
+
+let result h = !(h.cell)
+
+let crash t pid =
+  let p = t.procs.(pid) in
+  match p.status with
+  | Finished -> ()
+  | _ -> p.status <- Crashed
+
+let crashed t pid = t.procs.(pid).status = Crashed
+let finished t pid = t.procs.(pid).status = Finished
+let clock t = t.clock
+let steps_of t pid = t.procs.(pid).steps
+let flips_of t pid = t.procs.(pid).flips
+let trace t = t.tr
+let set_flip_source t f = t.flip_source <- Some f
+
+(* A yield performed outside any fiber (setup or checker code) is a
+   no-op rather than an error, so register helpers can be reused for
+   initialization. *)
+let safe_perform_yield () =
+  try perform Yield_step with Effect.Unhandled _ -> ()
+
+let safe_perform_flip t () =
+  try perform Flip_coin
+  with Effect.Unhandled _ -> Bprc_rng.Splitmix.bool t.rng
+
+let runtime (t : t) : (module Runtime_intf.S) =
+  (module struct
+    type 'a reg = { mutable v : 'a; id : int; name : string }
+
+    let make_reg ?(name = "r") v =
+      let id = t.next_reg_id in
+      t.next_reg_id <- id + 1;
+      { v; id; name }
+
+    let read r =
+      safe_perform_yield ();
+      let v = r.v in
+      record t t.current r.id r.name Trace.Read;
+      v
+
+    let write r v =
+      safe_perform_yield ();
+      r.v <- v;
+      record t t.current r.id r.name Trace.Write
+
+    let peek r = r.v
+    let poke r v = r.v <- v
+    let flip () = safe_perform_flip t ()
+    let pid () = t.current
+    let n = t.n
+    let now () = t.clock
+    let yield () =
+      safe_perform_yield ();
+      record t t.current (-1) "" Trace.Step
+  end : Runtime_intf.S)

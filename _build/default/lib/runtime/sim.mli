@@ -1,0 +1,88 @@
+(** Deterministic cooperative simulator of asynchronous shared memory.
+
+    Processes run as effect-handler fibers.  Every register access (and
+    every local coin flip) suspends the fiber; an {!Adversary.t} then
+    chooses which process takes the next atomic step.  One step = one
+    register access = one unit of measured cost, matching the cost model
+    of the paper's lemmas.
+
+    Typical use:
+    {[
+      let sim = Sim.create ~seed:42 ~n:4 ~adversary:(Adversary.random ()) () in
+      let (module R) = Sim.runtime sim in
+      let module C = Some_algorithm.Make (R) in
+      let state = C.create () in
+      let handles = Array.init 4 (fun i -> Sim.spawn sim (fun () -> C.run state i)) in
+      match Sim.run sim with
+      | Completed -> Array.map Sim.result handles
+      | Hit_step_limit -> ...
+    ]} *)
+
+type t
+
+type 'a handle
+(** A spawned process and its eventual result. *)
+
+type outcome =
+  | Completed  (** every non-crashed process finished *)
+  | Hit_step_limit  (** [max_steps] reached first *)
+
+val create :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?record_trace:bool ->
+  n:int ->
+  adversary:Adversary.t ->
+  unit ->
+  t
+(** [max_steps] defaults to 10_000_000; [record_trace] defaults to
+    [false] (recording costs memory proportional to the run length). *)
+
+val runtime : t -> (module Runtime_intf.S)
+(** The shared-memory interface bound to this simulator instance.
+    Registers made from it belong to this instance only. *)
+
+val spawn : t -> (unit -> 'a) -> 'a handle
+(** Register process number [spawned-so-far] (pids are assigned 0,1,...).
+    Must be called exactly [n] times before {!run}.
+    @raise Invalid_argument when more than [n] processes are spawned. *)
+
+val run : t -> outcome
+(** Drive steps until every process finished/crashed or the step limit
+    is hit.  @raise Invalid_argument if fewer than [n] processes were
+    spawned. *)
+
+val step : t -> bool
+(** Execute a single adversary-chosen step.  Returns [false] when no
+    process is runnable (all finished or crashed). *)
+
+val result : 'a handle -> 'a option
+(** The value returned by the process, if it finished. *)
+
+val crash : t -> int -> unit
+(** Permanently stop a process (models a faulty process; it is simply
+    never scheduled again).  Idempotent; legal at any time. *)
+
+val crashed : t -> int -> bool
+val finished : t -> int -> bool
+
+val clock : t -> int
+(** Global steps executed so far. *)
+
+val steps_of : t -> int -> int
+(** Steps taken by one process. *)
+
+val flips_of : t -> int -> int
+(** Local coin flips performed by one process. *)
+
+val trace : t -> Trace.t option
+(** The recorded trace, when [record_trace] was set. *)
+
+val note : t -> pid:int -> string -> unit
+(** Append an algorithm-level annotation to the trace (no-op when
+    recording is off).  Not a step. *)
+
+val set_flip_source : t -> (pid:int -> bool) -> unit
+(** Override the source of local coin flips (used by the exhaustive
+    explorer and by bias-injection tests).  Default draws from the
+    per-process seeded stream. *)

@@ -1,0 +1,33 @@
+(** Recording of shared-memory operations executed during a run.
+
+    Traces drive the adaptive adversaries and the correctness checkers.
+    Values are not recorded (they are polymorphic); checkers that need
+    them tag their payloads with unique identifiers instead. *)
+
+type kind =
+  | Read
+  | Write
+  | Flip of bool
+  | Step  (** explicit no-op yield *)
+  | Note of string  (** algorithm-level annotation *)
+
+type event = {
+  time : int;  (** global step counter at execution *)
+  pid : int;
+  reg_id : int;  (** -1 for [Flip]/[Step]/[Note] *)
+  reg_name : string;
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val length : t -> int
+val get : t -> int -> event
+val last : t -> event option
+val iter : (event -> unit) -> t -> unit
+val to_list : t -> event list
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit

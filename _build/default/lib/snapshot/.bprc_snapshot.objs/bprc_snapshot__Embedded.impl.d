@@ -1,0 +1,1 @@
+lib/snapshot/embedded.ml: Array Bprc_runtime Printf

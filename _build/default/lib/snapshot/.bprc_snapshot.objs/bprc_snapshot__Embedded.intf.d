@@ -1,0 +1,1 @@
+lib/snapshot/embedded.mli: Bprc_runtime Snapshot_intf

@@ -1,0 +1,1 @@
+lib/snapshot/handshake.ml: Array Bprc_runtime Printf

@@ -1,0 +1,1 @@
+lib/snapshot/handshake.mli: Bprc_runtime Snapshot_intf

@@ -1,0 +1,1 @@
+lib/snapshot/snap_checker.ml: Array Bprc_util Printf

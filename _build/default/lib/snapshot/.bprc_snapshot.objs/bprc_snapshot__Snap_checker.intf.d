@@ -1,0 +1,1 @@
+lib/snapshot/snap_checker.mli:

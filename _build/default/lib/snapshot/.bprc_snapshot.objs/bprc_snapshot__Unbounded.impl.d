@@ -1,0 +1,1 @@
+lib/snapshot/unbounded.ml: Array Bprc_runtime Printf

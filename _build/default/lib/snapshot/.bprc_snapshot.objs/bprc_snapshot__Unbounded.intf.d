@@ -1,0 +1,1 @@
+lib/snapshot/unbounded.mli: Bprc_runtime Snapshot_intf

@@ -1,0 +1,83 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  type 'a cell = {
+    value : 'a;
+    seq : int;
+    view : 'a array;  (** the scan embedded in this update *)
+  }
+
+  type 'a t = {
+    cells : 'a cell R.reg array;
+    my_value : 'a array;
+    my_seq : int array;
+    mutable retries : int;
+    mutable borrow_count : int;
+  }
+
+  let create ?(name = "esnap") ~init () =
+    {
+      cells =
+        Array.init R.n (fun j ->
+            R.make_reg
+              ~name:(Printf.sprintf "%s.V%d" name j)
+              { value = init; seq = 0; view = Array.make R.n init });
+      my_value = Array.make R.n init;
+      my_seq = Array.make R.n 0;
+      retries = 0;
+      borrow_count = 0;
+    }
+
+  let collect t me =
+    Array.init R.n (fun j ->
+        if j = me then
+          { value = t.my_value.(me); seq = t.my_seq.(me); view = [||] }
+        else R.read t.cells.(j))
+
+  let scan t =
+    let me = R.pid () in
+    (* moved.(j): distinct seqs seen for j beyond the first collect. *)
+    let first = collect t me in
+    let moved_once = Array.make R.n false in
+    let rec attempt prev =
+      let cur = collect t me in
+      let all_same = ref true in
+      let borrowed = ref None in
+      for j = 0 to R.n - 1 do
+        if cur.(j).seq <> prev.(j).seq then begin
+          all_same := false;
+          if cur.(j).seq <> first.(j).seq && moved_once.(j) then
+            (* j moved at least twice since the scan began: its latest
+               embedded view lies entirely within our interval. *)
+            borrowed := Some j
+          else moved_once.(j) <- true
+        end
+      done;
+      if !all_same then
+        Array.init R.n (fun j ->
+            if j = me then t.my_value.(me) else cur.(j).value)
+      else begin
+        t.retries <- t.retries + 1;
+        match !borrowed with
+        | Some j ->
+          t.borrow_count <- t.borrow_count + 1;
+          let v = Array.copy cur.(j).view in
+          (* The borrowed view's own component for me may be stale;
+             my value is mine to report. *)
+          v.(me) <- t.my_value.(me);
+          v
+        | None -> attempt cur
+      end
+    in
+    attempt first
+
+  let write t v =
+    let me = R.pid () in
+    let view = scan t in
+    let seq = t.my_seq.(me) + 1 in
+    t.my_seq.(me) <- seq;
+    t.my_value.(me) <- v;
+    R.write t.cells.(me) { value = v; seq; view }
+
+  let scan_retries t = t.retries
+  let borrows t = t.borrow_count
+  let max_seq t = Array.fold_left max 0 t.my_seq
+end

@@ -1,0 +1,177 @@
+type wrec = {
+  wpid : int;
+  ws : int;
+  wf : int;
+  wv : int;
+  windex : int;  (** 0 for the virtual initial write, then 1, 2, ... *)
+}
+
+type srec = { spid : int; ss : int; sf : int; view : int array }
+
+type t = {
+  n : int;
+  init : int;
+  writes : wrec Bprc_util.Vec.t array;  (** per writer, in order *)
+  scans : srec Bprc_util.Vec.t;
+  mutable counter : int;
+}
+
+let create ~n ~init =
+  let writes =
+    Array.init n (fun pid ->
+        let v = Bprc_util.Vec.create () in
+        Bprc_util.Vec.push v { wpid = pid; ws = 0; wf = 0; wv = init; windex = 0 };
+        v)
+  in
+  { n; init; writes; scans = Bprc_util.Vec.create (); counter = 0 }
+
+let stamp t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let record_write t ~pid ~start_time ~finish_time ~value =
+  let per = t.writes.(pid) in
+  (match Bprc_util.Vec.last per with
+  | Some prev ->
+    if value <= prev.wv then
+      invalid_arg "Snap_checker: per-writer values must strictly increase";
+    if start_time <= prev.wf then
+      invalid_arg "Snap_checker: writes of one process must be sequential"
+  | None -> assert false);
+  Bprc_util.Vec.push per
+    {
+      wpid = pid;
+      ws = start_time;
+      wf = finish_time;
+      wv = value;
+      windex = Bprc_util.Vec.length per;
+    }
+
+let record_scan t ~pid ~start_time ~finish_time ~view =
+  if Array.length view <> t.n then invalid_arg "Snap_checker: bad view size";
+  Bprc_util.Vec.push t.scans { spid = pid; ss = start_time; sf = finish_time; view }
+
+let writes t =
+  Array.fold_left (fun acc per -> acc + Bprc_util.Vec.length per - 1) 0 t.writes
+
+let scans t = Bprc_util.Vec.length t.scans
+
+(* The write by [pid] that produced [value], and its successor if any. *)
+let find_write t pid value =
+  let per = t.writes.(pid) in
+  let found = ref None in
+  Bprc_util.Vec.iteri
+    (fun i w ->
+      if w.wv = value then
+        found :=
+          Some
+            ( w,
+              if i + 1 < Bprc_util.Vec.length per then
+                Some (Bprc_util.Vec.get per (i + 1))
+              else None ))
+    per;
+  !found
+
+(* Definition 2.1 against a generic operation interval.  [<=] instead
+   of [<] only matters for the virtual initial writes, which all share
+   stamp 0 and coexist with each other by definition; real events carry
+   unique stamps. *)
+let potentially_coexists (w, next) ~op_start ~op_finish =
+  w.ws <= op_finish
+  && match next with None -> true | Some n' -> not (n'.wf < op_start)
+
+let result_iter_scans t f =
+  let err = ref None in
+  Bprc_util.Vec.iter
+    (fun s -> if !err = None then match f s with Ok () -> () | Error e -> err := Some e)
+    t.scans;
+  match !err with None -> Ok () | Some e -> Error e
+
+let check_regularity t =
+  result_iter_scans t (fun s ->
+      let bad = ref None in
+      for j = 0 to t.n - 1 do
+        if !bad = None then
+          match find_write t j s.view.(j) with
+          | None ->
+            bad :=
+              Some
+                (Printf.sprintf
+                   "P1: scan by %d returned value %d never written by %d"
+                   s.spid s.view.(j) j)
+          | Some wn ->
+            if not (potentially_coexists wn ~op_start:s.ss ~op_finish:s.sf)
+            then
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "P1: scan by %d [%d,%d] returned stale value %d of %d"
+                     s.spid s.ss s.sf s.view.(j) j)
+      done;
+      match !bad with None -> Ok () | Some e -> Error e)
+
+let check_snapshot t =
+  result_iter_scans t (fun s ->
+      let bad = ref None in
+      for a = 0 to t.n - 1 do
+        for b = a + 1 to t.n - 1 do
+          if !bad = None then
+            match (find_write t a s.view.(a), find_write t b s.view.(b)) with
+            | Some ((wa, _) as wan), Some ((wb, _) as wbn) ->
+              let ab =
+                potentially_coexists wan ~op_start:wb.ws ~op_finish:wb.wf
+              in
+              let ba =
+                potentially_coexists wbn ~op_start:wa.ws ~op_finish:wa.wf
+              in
+              if not (ab || ba) then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "P2: view of scan by %d mixes non-coexisting writes \
+                        %d@%d and %d@%d"
+                       s.spid s.view.(a) a s.view.(b) b)
+            | _ -> bad := Some "P2: unknown write in view"
+        done
+      done;
+      match !bad with None -> Ok () | Some e -> Error e)
+
+let view_indices t s =
+  Array.init t.n (fun j ->
+      match find_write t j s.view.(j) with
+      | Some (w, _) -> w.windex
+      | None -> invalid_arg "Snap_checker: unknown value in view")
+
+let check_serializability t =
+  let views =
+    Bprc_util.Vec.to_array t.scans |> Array.map (fun s -> (s, view_indices t s))
+  in
+  let m = Array.length views in
+  let bad = ref None in
+  for x = 0 to m - 1 do
+    for y = x + 1 to m - 1 do
+      if !bad = None then begin
+        let _, vx = views.(x) in
+        let _, vy = views.(y) in
+        let le = ref true and ge = ref true in
+        for j = 0 to t.n - 1 do
+          if vx.(j) > vy.(j) then le := false;
+          if vx.(j) < vy.(j) then ge := false
+        done;
+        if not (!le || !ge) then
+          bad :=
+            Some
+              (Printf.sprintf "P3: scans %d and %d returned incomparable views"
+                 x y)
+      end
+    done
+  done;
+  match !bad with None -> Ok () | Some e -> Error e
+
+let check_all t =
+  match check_regularity t with
+  | Error _ as e -> e
+  | Ok () -> (
+    match check_snapshot t with
+    | Error _ as e -> e
+    | Ok () -> check_serializability t)

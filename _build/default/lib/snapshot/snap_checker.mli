@@ -1,0 +1,39 @@
+(** Trace checker for the scannable-memory properties P1–P3 (§2.1).
+
+    Tests record every write and every scan with interval timestamps
+    drawn from the checker's own event counter ({!stamp}); under the
+    cooperative simulator, code execution order is real-time order, so
+    the counter yields exact intervals.  Written values must be unique
+    and strictly increasing per writer (e.g. write number [k] of process
+    [j] writes value [k]); initial segment contents are modelled as
+    virtual writes of [init] at time 0.
+
+    [potentially coexists] follows Definition 2.1: write [W] by process
+    [j] potentially coexists with operation [O] iff [W] began before [O]
+    ended and no later write by [j] ended before [O] began. *)
+
+type t
+
+val create : n:int -> init:int -> t
+
+val stamp : t -> int
+(** Strictly-increasing event timestamp. *)
+
+val record_write : t -> pid:int -> start_time:int -> finish_time:int -> value:int -> unit
+val record_scan : t -> pid:int -> start_time:int -> finish_time:int -> view:int array -> unit
+
+val writes : t -> int
+val scans : t -> int
+
+val check_regularity : t -> (unit, string) result
+(** P1: every view component potentially coexists with the scan. *)
+
+val check_snapshot : t -> (unit, string) result
+(** P2: the writes behind any two components of one view potentially
+    coexist with each other (in one direction or the other). *)
+
+val check_serializability : t -> (unit, string) result
+(** P3: the views of any two scans are comparable componentwise in
+    per-writer write order. *)
+
+val check_all : t -> (unit, string) result

@@ -1,0 +1,37 @@
+(** Common signature of scannable-memory (atomic snapshot)
+    implementations.
+
+    A scannable memory is an array of [n] single-writer segments.
+    [write] updates the calling process's segment; [scan] returns a view
+    of all [n] segments satisfying, per §2 of the paper:
+
+    - {b P1 regularity}: every component of the view was written by a
+      write that potentially coexists with the scan;
+    - {b P2 snapshot}: the components pairwise potentially coexist, so
+      the view could have been read instantaneously;
+    - {b P3 scan serializability}: the views of any two scans are
+      comparable in the componentwise (per-writer write-order) order.
+
+    Writes are wait-free.  Scans are not: a scan may be forced to retry
+    by concurrent writes, but only a {e new} write can cause a retry, so
+    the system as a whole makes progress (§2.1). *)
+
+module type S = sig
+  type 'a t
+
+  val create : ?name:string -> init:'a -> unit -> 'a t
+  (** One segment per process of the ambient runtime, all initialized
+      to [init]. *)
+
+  val write : 'a t -> 'a -> unit
+  (** Update the calling process's segment. *)
+
+  val scan : 'a t -> 'a array
+  (** A coherent view of all segments, indexed by pid.  The calling
+      process's own component is its own latest write (known locally,
+      as in the paper). *)
+
+  val scan_retries : 'a t -> int
+  (** Cumulative number of scan restarts over the object's lifetime
+      (contention probe for experiment E7). *)
+end

@@ -1,0 +1,55 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  type 'a cell = { value : 'a; seq : int }
+
+  type 'a t = {
+    values : 'a cell R.reg array;
+    my_value : 'a array;
+    my_seq : int array;  (** writer-local sequence counters *)
+    mutable retries : int;
+  }
+
+  let create ?(name = "usnap") ~init () =
+    {
+      values =
+        Array.init R.n (fun j ->
+            R.make_reg
+              ~name:(Printf.sprintf "%s.V%d" name j)
+              { value = init; seq = 0 });
+      my_value = Array.make R.n init;
+      my_seq = Array.make R.n 0;
+      retries = 0;
+    }
+
+  let write t v =
+    let me = R.pid () in
+    let seq = t.my_seq.(me) + 1 in
+    t.my_seq.(me) <- seq;
+    t.my_value.(me) <- v;
+    R.write t.values.(me) { value = v; seq }
+
+  let scan t =
+    let me = R.pid () in
+    let n = R.n in
+    let collect () =
+      Array.init n (fun j ->
+          if j = me then { value = t.my_value.(me); seq = t.my_seq.(me) }
+          else R.read t.values.(j))
+    in
+    let rec attempt prev =
+      let cur = collect () in
+      let same = ref true in
+      for j = 0 to n - 1 do
+        if prev.(j).seq <> cur.(j).seq then same := false
+      done;
+      if !same then Array.map (fun c -> c.value) cur
+      else begin
+        t.retries <- t.retries + 1;
+        attempt cur
+      end
+    in
+    attempt (collect ())
+
+  let scan_retries t = t.retries
+
+  let max_seq t = Array.fold_left max 0 t.my_seq
+end

@@ -1,0 +1,18 @@
+(** Unbounded-counter scannable memory: the classical double-collect
+    snapshot used (implicitly) by Aspnes–Herlihy, kept as the baseline
+    whose space cost the paper's handshake construction eliminates.
+
+    Each segment carries an ever-growing sequence number; a scan
+    collects all segments repeatedly until two successive collects
+    agree on every sequence number, at which point the memory was
+    quiescent between the collects and the view is instantaneous.
+
+    {!max_seq} exposes the unbounded component for space accounting
+    (experiment E6). *)
+
+module Make (_ : Bprc_runtime.Runtime_intf.S) : sig
+  include Snapshot_intf.S
+
+  val max_seq : 'a t -> int
+  (** Largest per-segment sequence number issued so far. *)
+end

@@ -1,0 +1,1 @@
+lib/strip/distance_graph.mli: Format

@@ -1,0 +1,1 @@
+lib/strip/edge_counters.ml: Array Distance_graph

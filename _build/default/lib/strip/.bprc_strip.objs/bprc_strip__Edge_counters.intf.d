@@ -1,0 +1,1 @@
+lib/strip/edge_counters.mli: Distance_graph

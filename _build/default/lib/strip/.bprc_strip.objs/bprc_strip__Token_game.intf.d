@@ -1,0 +1,1 @@
+lib/strip/token_game.mli:

@@ -1,0 +1,50 @@
+let shrink ~k pos =
+  let n = Array.length pos in
+  if n = 0 then [||]
+  else begin
+    (* Sort indices by position; walk up compressing gaps. *)
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> compare pos.(a) pos.(b)) order;
+    let out = Array.make n 0 in
+    out.(order.(0)) <- pos.(order.(0));
+    for r = 1 to n - 1 do
+      let prev = order.(r - 1) and cur = order.(r) in
+      let gap = pos.(cur) - pos.(prev) in
+      out.(cur) <- out.(prev) + min gap k
+    done;
+    out
+  end
+
+let normalize ~k pos =
+  let n = Array.length pos in
+  if n = 0 then [||]
+  else begin
+    let mx = Array.fold_left max min_int pos in
+    Array.map (fun p -> p - mx + (k * n)) pos
+  end
+
+type t = {
+  k : int;
+  n : int;
+  mutable pos : int array;  (** normalized shrunken *)
+  raw : int array;  (** unbounded reference game *)
+}
+
+let create ~k ~n =
+  if k <= 0 || n <= 0 then invalid_arg "Token_game.create";
+  { k; n; pos = normalize ~k (Array.make n 0); raw = Array.make n 0 }
+
+let n t = t.n
+let k t = t.k
+let positions t = Array.copy t.pos
+let raw_positions t = Array.copy t.raw
+
+let move t i =
+  if i < 0 || i >= t.n then invalid_arg "Token_game.move: bad index";
+  t.raw.(i) <- t.raw.(i) + 1;
+  let pos = Array.copy t.pos in
+  pos.(i) <- pos.(i) + 1;
+  t.pos <- normalize ~k:t.k (shrink ~k:t.k pos)
+
+let spread t =
+  Array.fold_left max min_int t.pos - Array.fold_left min max_int t.pos

@@ -1,0 +1,41 @@
+(** The token game of §4.1 — the sequential specification of the
+    bounded rounds strip.
+
+    Each of [n] processes controls a token on the natural numbers
+    (initially 0); [move_token i] advances token [i] by one.  The
+    {e shrunken} game applies {!shrink} after every move, compressing
+    every inter-token gap larger than [K] to exactly [K]; the
+    {e normalized shrunken} game further applies {!normalize}, sliding
+    all tokens so the maximum sits at [K·n].  Positions of the
+    normalized shrunken game always lie in [[0 .. K·n]], which is what
+    makes a bounded representation possible. *)
+
+val shrink : k:int -> int array -> int array
+(** Pure: compress gaps > [K] between position-sorted neighbours to
+    exactly [K], keeping the minimum where it is.  Ties keep relative
+    distance 0. *)
+
+val normalize : k:int -> int array -> int array
+(** Pure: translate positions so the maximum equals [K·n]. *)
+
+type t
+(** A normalized shrunken game, together with the {e raw} (unbounded)
+    game it tracks, for comparison in tests and experiments. *)
+
+val create : k:int -> n:int -> t
+val n : t -> int
+val k : t -> int
+
+val positions : t -> int array
+(** Current normalized shrunken positions (copy). *)
+
+val raw_positions : t -> int array
+(** Positions of the uncompressed game (copy); these grow without
+    bound. *)
+
+val move : t -> int -> unit
+(** [move t i] performs [move_token i] followed by shrinking and
+    normalizing. *)
+
+val spread : t -> int
+(** Max position minus min position (≤ [K·(n-1)] always). *)

@@ -1,0 +1,1 @@
+lib/universal/fetch_and_cons.ml: Bprc_runtime Universal

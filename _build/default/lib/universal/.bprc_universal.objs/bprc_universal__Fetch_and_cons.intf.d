@@ -1,0 +1,1 @@
+lib/universal/fetch_and_cons.mli: Bprc_core Bprc_runtime

@@ -1,0 +1,1 @@
+lib/universal/sticky_bit.ml: Array Bprc_core Bprc_runtime Bprc_snapshot

@@ -1,0 +1,1 @@
+lib/universal/sticky_bit.mli: Bprc_core Bprc_runtime

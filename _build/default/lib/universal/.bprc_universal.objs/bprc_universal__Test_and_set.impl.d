@@ -1,0 +1,1 @@
+lib/universal/test_and_set.ml: Array Bprc_core Bprc_runtime Bprc_snapshot

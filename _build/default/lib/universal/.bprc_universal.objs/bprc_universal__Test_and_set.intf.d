@@ -1,0 +1,1 @@
+lib/universal/test_and_set.mli: Bprc_core Bprc_runtime

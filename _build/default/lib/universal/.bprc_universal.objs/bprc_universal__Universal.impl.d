@@ -1,0 +1,1 @@
+lib/universal/universal.ml: Array Bprc_core Bprc_runtime Bprc_snapshot Bprc_util Hashtbl Mutex Printf

@@ -1,0 +1,1 @@
+lib/universal/universal.mli: Bprc_core Bprc_runtime

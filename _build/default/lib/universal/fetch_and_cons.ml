@@ -1,0 +1,16 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  module U = Universal.Make (R)
+
+  type t = (int list, int list) U.t
+
+  let create ?(name = "cons") ?params ?payload_bits () =
+    U.create ~name ?params ?payload_bits
+      ~apply:(fun st x -> (x :: st, st))
+      ~init:[] ()
+
+  let fetch_and_cons t x =
+    let _pre, result = U.invoke t x in
+    result
+
+  let current t ~pid = U.local_state t ~pid
+end

@@ -1,0 +1,24 @@
+(** [fetch_and_cons] — the [H88] primitive named in the paper's
+    introduction: atomically prepend an element to a shared list and
+    receive the list as it was just before the prepend.
+
+    A direct instantiation of the {!Universal} construction with state
+    ['a list]; elements are integer payloads. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create :
+    ?name:string ->
+    ?params:Bprc_core.Params.t ->
+    ?payload_bits:int ->
+    unit ->
+    t
+
+  val fetch_and_cons : t -> int -> int list
+  (** [fetch_and_cons t x] prepends [x] and returns the prior list
+      (newest element first).  Wait-free and linearizable. *)
+
+  val current : t -> pid:int -> int list
+  (** A replica's current view of the list (meta-level). *)
+end

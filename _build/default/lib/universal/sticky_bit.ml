@@ -1,0 +1,26 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  module Snap = Bprc_snapshot.Handshake.Make (R)
+  module Bin = Bprc_core.Ads89.Make (R)
+
+  type t = {
+    consensus : Bin.t;
+    results : bool option Snap.t;  (** writers post the stuck value *)
+  }
+
+  let create ?(name = "sticky") ?(params = Bprc_core.Params.default) () =
+    {
+      consensus = Bin.create ~name:(name ^ ".c") ~params ();
+      results = Snap.create ~name:(name ^ ".r") ~init:None ();
+    }
+
+  let write t v =
+    let stuck = Bin.run t.consensus ~input:v in
+    Snap.write t.results (Some stuck);
+    stuck
+
+  let read t =
+    let posted = Snap.scan t.results in
+    Array.fold_left
+      (fun acc p -> match acc with Some _ -> acc | None -> p)
+      None posted
+end

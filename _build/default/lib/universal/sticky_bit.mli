@@ -1,0 +1,23 @@
+(** Plotkin's sticky bit [P89], the other universal primitive the
+    paper's introduction names: a bit that sticks to the first value
+    successfully written into it.
+
+    Built directly from one binary consensus instance — [write v]
+    proposes [v] and returns the stuck value (consensus validity means
+    an uncontended first write always sticks its own value); [read]
+    returns the stuck value once some write has completed, [None]
+    before. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : ?name:string -> ?params:Bprc_core.Params.t -> unit -> t
+
+  val write : t -> bool -> bool
+  (** Attempt to stick [v]; returns the value the bit actually stuck
+      to.  Wait-free. *)
+
+  val read : t -> bool option
+  (** The stuck value, or [None] if no write has completed yet.  One
+      scan. *)
+end

@@ -1,0 +1,32 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  module Snap = Bprc_snapshot.Handshake.Make (R)
+  module Mv = Bprc_core.Multivalued.Make (R)
+
+  let bits_for x =
+    let rec go acc v = if v >= x then acc else go (acc + 1) (v * 2) in
+    go 0 1
+
+  type t = {
+    election : Mv.t;
+    result_board : int option Snap.t;  (** finished callers post the winner *)
+  }
+
+  let create ?(name = "tas") ?(params = Bprc_core.Params.default) () =
+    {
+      election =
+        Mv.create ~name:(name ^ ".e") ~params ~width:(max 1 (bits_for R.n)) ();
+      result_board = Snap.create ~name:(name ^ ".r") ~init:None ();
+    }
+
+  let test_and_set t =
+    let me = R.pid () in
+    let w = Mv.run t.election ~input:me in
+    Snap.write t.result_board (Some w);
+    w = me
+
+  let winner t =
+    Snap.scan t.result_board
+    |> Array.fold_left
+         (fun acc p -> match acc with Some _ -> acc | None -> p)
+         None
+end

@@ -1,0 +1,20 @@
+(** One-shot test-and-set / leader election from consensus.
+
+    Every caller proposes itself; the consensus instance elects exactly
+    one winner, and every caller learns atomically whether it won.
+    This is the classical "consensus ⇒ test-and-set" direction of
+    Herlihy's hierarchy [H88], using the multi-valued protocol to agree
+    on the winning pid. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : ?name:string -> ?params:Bprc_core.Params.t -> unit -> t
+
+  val test_and_set : t -> bool
+  (** [true] for exactly one caller (the winner), [false] for all
+      others.  Wait-free; at most one call per process. *)
+
+  val winner : t -> int option
+  (** The elected pid once some caller finished, [None] before. *)
+end

@@ -1,0 +1,58 @@
+(** Wait-free universal construction over randomized consensus.
+
+    The paper's introduction motivates randomized consensus as "a basis
+    for constructing novel universal synchronization primitives, such as
+    the fetch_and_cons of [H88]"; this module is that application: any
+    sequential object, made wait-free and linearizable for the [n]
+    processes of the runtime.
+
+    Structure (Herlihy-style, with helping):
+    - every process {e announces} its pending operation in a scannable
+      memory;
+    - log position [k] is filled by a multi-valued consensus instance
+      whose proposals are announced operations, with position [k]
+      {e designated} to help process [k mod n] — so an announced
+      operation waits at most [n] positions before everyone proposes
+      it, which gives wait-freedom;
+    - each process replays the agreed log locally against the
+      sequential [apply] function (duplicate decisions of one announced
+      operation are skipped), so the object's state never crosses the
+      shared memory — only small operation descriptors do.
+
+    Operations are integer payloads of [payload_bits] bits; a process
+    may perform at most [2^idx_bits] operations over the object's
+    lifetime (descriptors are [(pid, index, payload)] packed into the
+    consensus domain).  State and results are arbitrary OCaml values,
+    since replay is local. *)
+
+module Make (R : Bprc_runtime.Runtime_intf.S) : sig
+  type ('s, 'r) t
+
+  val create :
+    ?name:string ->
+    ?params:Bprc_core.Params.t ->
+    ?payload_bits:int ->
+    ?idx_bits:int ->
+    apply:('s -> int -> 's * 'r) ->
+    init:'s ->
+    unit ->
+    ('s, 'r) t
+  (** [payload_bits] defaults to 8, [idx_bits] to 10; together with the
+      pid bits they must fit the 30-bit consensus domain.
+      @raise Invalid_argument otherwise. *)
+
+  val invoke : ('s, 'r) t -> int -> 's * 'r
+  (** [invoke t payload] runs the operation as the calling process and
+      returns [(state the operation was applied to, its result)].
+      Wait-free: at most [n+1] log positions are filled before the
+      operation lands.
+      @raise Invalid_argument if [payload] exceeds [payload_bits] or
+      the per-process operation budget is exhausted. *)
+
+  val local_state : ('s, 'r) t -> pid:int -> 's
+  (** The replica state of one process (meta-level, for checkers). *)
+
+  val log_length : ('s, 'r) t -> int
+  (** Log positions agreed so far, as known to the most advanced
+      process (meta-level). *)
+end

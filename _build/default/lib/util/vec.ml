@@ -1,0 +1,74 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+(* Capacity cannot be preallocated without a witness element, so the
+   backing array is allocated lazily on first push. *)
+let create ?capacity:_ () = { data = [||]; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 8 else cap * 2 in
+  let data = Array.make new_cap x in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    Some t.data.(t.len)
+  end
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+let to_array t = Array.init t.len (fun i -> t.data.(i))
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t

@@ -1,0 +1,1 @@
+test/test_coin.ml: Adversary Alcotest Array Bool Bounded_walk Bprc_coin Bprc_runtime List Local_coin Oracle_coin Par Printf Runtime_intf Sim Unbounded_walk

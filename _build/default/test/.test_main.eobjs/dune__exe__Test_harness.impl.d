@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Astring Bprc_core Bprc_harness Experiments Gen List Printf QCheck QCheck_alcotest Run Stats String Table

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Abd Alcotest Array Bprc_core Bprc_netsim Bprc_registers List Netsim

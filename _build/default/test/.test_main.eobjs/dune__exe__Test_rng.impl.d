@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Bprc_rng Dist Fun List Printf QCheck QCheck_alcotest Splitmix

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Adversary Alcotest Array Bprc_rng Bprc_runtime Domain Explore Fun Hashtbl List Par Printf Runtime_intf Sim Trace Trace_stats

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Adversary Alcotest Array Bprc_runtime Bprc_snapshot Embedded Explore Handshake Par Runtime_intf Sim Snap_checker Snapshot_intf String Unbounded

@@ -1,0 +1,1 @@
+test/test_strip.ml: Alcotest Array Bprc_rng Bprc_strip Distance_graph Edge_counters Gen List QCheck QCheck_alcotest Token_game

@@ -1,0 +1,1 @@
+test/test_universal.ml: Adversary Alcotest Array Bool Bprc_core Bprc_runtime Bprc_universal Fetch_and_cons Fun List Printf Sim Sticky_bit Test_and_set Universal

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bprc_util List QCheck QCheck_alcotest Vec

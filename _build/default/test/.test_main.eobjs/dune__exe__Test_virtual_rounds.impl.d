@@ -1,0 +1,1 @@
+test/test_virtual_rounds.ml: Ads89 Adversary Alcotest Array Bprc_core Bprc_rng Bprc_runtime Sim Virtual_rounds

@@ -1,0 +1,191 @@
+open Bprc_runtime
+open Bprc_coin
+
+(* Run one shared-coin instance among [n] simulated processes; [make]
+   instantiates the coin on the runtime and returns the per-process
+   flip closure.  Returns the values obtained, or [None] on timeout. *)
+let run_coin ~n ~seed ~adversary (make : (module Runtime_intf.S) -> unit -> bool)
+    =
+  let sim = Sim.create ~seed ~n ~adversary () in
+  let rt = Sim.runtime sim in
+  let flip = make rt in
+  let handles = Array.init n (fun _ -> Sim.spawn sim (fun () -> flip ())) in
+  match Sim.run sim with
+  | Sim.Hit_step_limit -> None
+  | Sim.Completed ->
+    Some (Array.to_list handles |> List.filter_map Sim.result)
+
+let bounded rt =
+  let module C = Bounded_walk.Make ((val rt : Runtime_intf.S)) in
+  let coin = C.create ~seed:1 () in
+  fun () -> C.flip coin
+
+let test_bounded_singleton_decides () =
+  match run_coin ~n:1 ~seed:3 ~adversary:(Adversary.round_robin ()) bounded with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "singleton coin failed to decide"
+
+let test_bounded_all_decide () =
+  for seed = 1 to 25 do
+    match run_coin ~n:4 ~seed ~adversary:(Adversary.random ()) bounded with
+    | Some vs -> Alcotest.(check int) "all decided" 4 (List.length vs)
+    | None -> Alcotest.failf "step limit at seed %d" seed
+  done
+
+let agreement_rate ~n ~seeds make =
+  let agreed = ref 0 in
+  let total = ref 0 in
+  for seed = 1 to seeds do
+    match run_coin ~n ~seed ~adversary:(Adversary.random ()) make with
+    | Some (v :: vs) ->
+      incr total;
+      if List.for_all (Bool.equal v) vs then incr agreed
+    | Some [] | None -> ()
+  done;
+  float_of_int !agreed /. float_of_int (max 1 !total)
+
+let test_bounded_agreement_dominates () =
+  (* δ = 2 ⇒ disagreement ≲ 1/4; over 60 seeds agreement should be
+     comfortably above half. *)
+  let rate = agreement_rate ~n:3 ~seeds:60 bounded in
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement rate %.2f > 0.6" rate)
+    true (rate > 0.6)
+
+let test_bounded_determinism () =
+  let once seed =
+    run_coin ~n:3 ~seed ~adversary:(Adversary.random ()) bounded
+  in
+  Alcotest.(check bool) "same seed same outcome" true (once 9 = once 9)
+
+let test_bounded_rejects_bad_params () =
+  let sim = Sim.create ~seed:1 ~n:2 ~adversary:(Adversary.random ()) () in
+  let module C = Bounded_walk.Make ((val Sim.runtime sim)) in
+  Alcotest.check_raises "delta" (Invalid_argument "Bounded_walk: delta must be positive")
+    (fun () -> ignore (C.create_custom ~delta:0 ~seed:1 ()));
+  Alcotest.check_raises "m" (Invalid_argument "Bounded_walk: m must exceed the barrier")
+    (fun () -> ignore (C.create_custom ~delta:2 ~m:3 ~seed:1 ()))
+
+let test_bounded_overflow_escape () =
+  (* A minimal counter bound forces overflows; every process still
+     decides (wait-freedom is deterministic here, not probabilistic). *)
+  let overflows = ref 0 in
+  for seed = 1 to 20 do
+    let sim = Sim.create ~seed ~n:2 ~adversary:(Adversary.random ()) () in
+    let module C = Bounded_walk.Make ((val Sim.runtime sim)) in
+    let coin = C.create_custom ~delta:2 ~m:5 ~seed () in
+    let hs = Array.init 2 (fun _ -> Sim.spawn sim (fun () -> C.flip coin)) in
+    (match Sim.run sim with
+    | Sim.Completed -> ()
+    | Sim.Hit_step_limit -> Alcotest.failf "no decision at seed %d" seed);
+    Array.iter
+      (fun h ->
+        if Sim.result h = None then Alcotest.fail "process undecided")
+      hs;
+    overflows := !overflows + C.overflows coin
+  done;
+  Alcotest.(check bool) "tiny m produced overflows" true (!overflows > 0)
+
+let test_bounded_counters_stay_in_band () =
+  (* Counters never leave ±(m+1) even under adversarial bursts. *)
+  let sim = Sim.create ~seed:5 ~n:3 ~adversary:(Adversary.bursty ~burst:9 ()) () in
+  let module C = Bounded_walk.Make ((val Sim.runtime sim)) in
+  let m = 6 in
+  let coin = C.create_custom ~delta:1 ~m ~seed:5 () in
+  let _ = Array.init 3 (fun _ -> Sim.spawn sim (fun () -> C.flip coin)) in
+  ignore (Sim.run sim);
+  (* walk_value folds the shadow counters; each is clamped. *)
+  Alcotest.(check bool) "walk value bounded" true
+    (abs (C.walk_value coin) <= 3 * (m + 1))
+
+let test_bounded_steps_accounted () =
+  let sim = Sim.create ~seed:6 ~n:2 ~adversary:(Adversary.random ()) () in
+  let module C = Bounded_walk.Make ((val Sim.runtime sim)) in
+  let coin = C.create ~seed:6 () in
+  let _ = Array.init 2 (fun _ -> Sim.spawn sim (fun () -> C.flip coin)) in
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "walk steps recorded" true (C.total_walk_steps coin > 0)
+
+let test_unbounded_magnitude_grows_no_overflow () =
+  let sim = Sim.create ~seed:7 ~n:2 ~adversary:(Adversary.random ()) () in
+  let module C = Unbounded_walk.Make ((val Sim.runtime sim)) in
+  let coin = C.create_custom ~delta:3 ~seed:7 () in
+  let hs = Array.init 2 (fun _ -> Sim.spawn sim (fun () -> C.flip coin)) in
+  ignore (Sim.run sim);
+  Array.iter (fun h -> if Sim.result h = None then Alcotest.fail "undecided") hs;
+  Alcotest.(check int) "unbounded never overflows" 0 (C.overflows coin);
+  Alcotest.(check bool) "some magnitude" true (C.max_counter_magnitude coin > 0)
+
+let local rt =
+  let module C = Local_coin.Make ((val rt : Runtime_intf.S)) in
+  let coin = C.create ~seed:1 () in
+  fun () -> C.flip coin
+
+let test_local_coin_disagrees_somewhere () =
+  let rate = agreement_rate ~n:4 ~seeds:40 local in
+  Alcotest.(check bool)
+    (Printf.sprintf "local coin agreement %.2f < 1" rate)
+    true (rate < 1.0)
+
+let oracle seed rt =
+  let module C = Oracle_coin.Make ((val rt : Runtime_intf.S)) in
+  let coin = C.create ~seed () in
+  fun () -> C.flip coin
+
+let test_oracle_always_agrees () =
+  for seed = 1 to 30 do
+    match
+      run_coin ~n:4 ~seed ~adversary:(Adversary.random ()) (oracle seed)
+    with
+    | Some (v :: vs) ->
+      Alcotest.(check bool) "oracle unanimous" true (List.for_all (Bool.equal v) vs)
+    | _ -> Alcotest.fail "oracle did not complete"
+  done
+
+let test_oracle_balanced_across_seeds () =
+  let heads = ref 0 in
+  for seed = 1 to 200 do
+    match
+      run_coin ~n:1 ~seed ~adversary:(Adversary.round_robin ()) (oracle seed)
+    with
+    | Some [ true ] -> incr heads
+    | Some [ false ] -> ()
+    | _ -> Alcotest.fail "oracle did not complete"
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "oracle not constant (%d/200 heads)" !heads)
+    true
+    (!heads > 50 && !heads < 150)
+
+let test_bounded_par_smoke () =
+  (* The bounded coin on real domains: all processes decide. *)
+  let rt = Par.make_runtime ~seed:11 ~n:4 () in
+  let module C = Bounded_walk.Make ((val rt)) in
+  let coin = C.create ~seed:11 () in
+  let results = Par.run ~runtime:rt ~n:4 (fun _ _ -> C.flip coin) in
+  Alcotest.(check int) "all decided" 4 (Array.length results)
+
+let suite =
+  [
+    Alcotest.test_case "bounded: singleton decides" `Quick
+      test_bounded_singleton_decides;
+    Alcotest.test_case "bounded: all decide" `Quick test_bounded_all_decide;
+    Alcotest.test_case "bounded: agreement dominates" `Quick
+      test_bounded_agreement_dominates;
+    Alcotest.test_case "bounded: deterministic" `Quick test_bounded_determinism;
+    Alcotest.test_case "bounded: param validation" `Quick
+      test_bounded_rejects_bad_params;
+    Alcotest.test_case "bounded: overflow escape" `Quick
+      test_bounded_overflow_escape;
+    Alcotest.test_case "bounded: counters clamped" `Quick
+      test_bounded_counters_stay_in_band;
+    Alcotest.test_case "bounded: steps accounted" `Quick
+      test_bounded_steps_accounted;
+    Alcotest.test_case "unbounded: grows, no overflow" `Quick
+      test_unbounded_magnitude_grows_no_overflow;
+    Alcotest.test_case "local: disagreements exist" `Quick
+      test_local_coin_disagrees_somewhere;
+    Alcotest.test_case "oracle: unanimous" `Quick test_oracle_always_agrees;
+    Alcotest.test_case "oracle: balanced" `Quick test_oracle_balanced_across_seeds;
+    Alcotest.test_case "bounded: par smoke" `Quick test_bounded_par_smoke;
+  ]

@@ -1,0 +1,493 @@
+open Bprc_runtime
+open Bprc_core
+
+type outcome = {
+  completed : bool;
+  decisions : bool option array;
+  total_steps : int;
+}
+
+let run_ads89 ?(max_steps = 3_000_000) ?params ?coin_mode ?(oracle_seed = 0)
+    ?(crash_at = []) ~n ~seed ~adversary ~inputs () =
+  let sim = Sim.create ~seed ~max_steps ~n ~adversary () in
+  let module C = Ads89.Make ((val Sim.runtime sim)) in
+  let t = C.create ?params ?coin_mode ~oracle_seed () in
+  let handles =
+    Array.init n (fun i -> Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
+  in
+  (* Drive manually so crashes can be injected at given global steps. *)
+  let crash_at = List.sort compare crash_at in
+  let pending = ref crash_at in
+  let completed =
+    let rec go () =
+      (match !pending with
+      | (step, pid) :: rest when Sim.clock sim >= step ->
+        Sim.crash sim pid;
+        pending := rest
+      | _ -> ());
+      if Sim.clock sim >= max_steps then false
+      else if Sim.step sim then go ()
+      else true
+    in
+    go ()
+  in
+  {
+    completed;
+    decisions = Array.map Sim.result handles;
+    total_steps = Sim.clock sim;
+  }
+
+let mixed_inputs n seed =
+  let r = Bprc_rng.Splitmix.create ~seed:(seed * 7919) in
+  Array.init n (fun _ -> Bprc_rng.Splitmix.bool r)
+
+let check_outcome ~name ~seed ~inputs ~require_all outcome =
+  if not outcome.completed then
+    Alcotest.failf "%s: seed %d hit step limit (%d steps)" name seed
+      outcome.total_steps;
+  (match Spec.check ~inputs ~decisions:outcome.decisions with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: seed %d: %s" name seed e);
+  if require_all && Array.exists (fun d -> d = None) outcome.decisions then
+    Alcotest.failf "%s: seed %d: some process failed to decide" name seed
+
+let test_singleton () =
+  List.iter
+    (fun v ->
+      let o =
+        run_ads89 ~n:1 ~seed:1 ~adversary:(Adversary.round_robin ())
+          ~inputs:[| v |] ()
+      in
+      Alcotest.(check (array (option bool))) "decides own input" [| Some v |]
+        o.decisions)
+    [ true; false ]
+
+let test_unanimous_all_sizes () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun v ->
+          let inputs = Array.make n v in
+          let o =
+            run_ads89 ~n ~seed:(n + 13) ~adversary:(Adversary.random ())
+              ~inputs ()
+          in
+          check_outcome ~name:"unanimous" ~seed:n ~inputs ~require_all:true o;
+          Array.iter
+            (fun d ->
+              Alcotest.(check (option bool)) "validity" (Some v) d)
+            o.decisions)
+        [ true; false ])
+    [ 2; 3; 4; 5 ]
+
+let test_mixed_random_adversary () =
+  for seed = 1 to 30 do
+    let n = 2 + (seed mod 4) in
+    let inputs = mixed_inputs n seed in
+    let o = run_ads89 ~n ~seed ~adversary:(Adversary.random ()) ~inputs () in
+    check_outcome ~name:"mixed/random" ~seed ~inputs ~require_all:true o
+  done
+
+let test_mixed_round_robin () =
+  for seed = 1 to 10 do
+    let n = 2 + (seed mod 3) in
+    let inputs = mixed_inputs n (seed + 100) in
+    let o =
+      run_ads89 ~n ~seed ~adversary:(Adversary.round_robin ()) ~inputs ()
+    in
+    check_outcome ~name:"mixed/rr" ~seed ~inputs ~require_all:true o
+  done
+
+let test_mixed_bursty () =
+  for seed = 1 to 10 do
+    let n = 3 in
+    let inputs = mixed_inputs n (seed + 200) in
+    let o =
+      run_ads89 ~n ~seed ~adversary:(Adversary.bursty ~burst:11 ()) ~inputs ()
+    in
+    check_outcome ~name:"mixed/bursty" ~seed ~inputs ~require_all:true o
+  done
+
+let test_crash_tolerance () =
+  (* Crash up to n-1 processes at various points; survivors decide and
+     stay consistent. *)
+  for seed = 1 to 15 do
+    let n = 4 in
+    let inputs = mixed_inputs n (seed + 300) in
+    let crash_at = [ (50 + (seed * 17), seed mod n); (200 + (seed * 23), (seed + 1) mod n) ] in
+    let o =
+      run_ads89 ~n ~seed ~adversary:(Adversary.random ()) ~inputs ~crash_at ()
+    in
+    if not o.completed then
+      Alcotest.failf "crash: seed %d hit step limit" seed;
+    (match Spec.check ~inputs ~decisions:o.decisions with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "crash: seed %d: %s" seed e);
+    (* At least the never-crashed processes decided. *)
+    let crashed = List.map snd crash_at in
+    Array.iteri
+      (fun i d ->
+        if (not (List.mem i crashed)) && d = None then
+          Alcotest.failf "crash: survivor %d undecided at seed %d" i seed)
+      o.decisions
+  done
+
+let test_determinism () =
+  let once () =
+    let inputs = [| true; false; true |] in
+    let o = run_ads89 ~n:3 ~seed:77 ~adversary:(Adversary.random ()) ~inputs () in
+    (o.decisions, o.total_steps)
+  in
+  Alcotest.(check bool) "same seed same run" true (once () = once ())
+
+let test_local_flips_mode_small_n () =
+  (* Exponential baseline still correct for tiny n. *)
+  for seed = 1 to 10 do
+    let inputs = mixed_inputs 2 (seed + 400) in
+    let o =
+      run_ads89 ~n:2 ~seed ~adversary:(Adversary.random ())
+        ~coin_mode:Ads89.Local_flips ~inputs ()
+    in
+    check_outcome ~name:"local-flips" ~seed ~inputs ~require_all:true o
+  done
+
+let test_oracle_mode () =
+  for seed = 1 to 10 do
+    let inputs = mixed_inputs 4 (seed + 500) in
+    let o =
+      run_ads89 ~n:4 ~seed ~adversary:(Adversary.random ())
+        ~coin_mode:Ads89.Oracle_shared ~oracle_seed:seed ~inputs ()
+    in
+    check_outcome ~name:"oracle" ~seed ~inputs ~require_all:true o
+  done
+
+let test_register_bits_constant () =
+  let sim = Sim.create ~seed:1 ~n:3 ~adversary:(Adversary.random ()) () in
+  let module C = Ads89.Make ((val Sim.runtime sim)) in
+  let t = C.create () in
+  let before = C.register_bits t in
+  let _ =
+    Array.init 3 (fun i -> Sim.spawn sim (fun () -> C.run t ~input:(i = 0)))
+  in
+  ignore (Sim.run sim);
+  Alcotest.(check int) "register bound unchanged by execution" before
+    (C.register_bits t);
+  let st = C.stats t in
+  Alcotest.(check bool) "protocol did real work" true (st.Ads89.scans > 0);
+  Alcotest.(check bool) "rounds advanced" true (st.Ads89.max_raw_round >= 1)
+
+let test_stats_decisions_match () =
+  let sim = Sim.create ~seed:2 ~n:3 ~adversary:(Adversary.random ()) () in
+  let module C = Ads89.Make ((val Sim.runtime sim)) in
+  let t = C.create () in
+  let handles =
+    Array.init 3 (fun i -> Sim.spawn sim (fun () -> C.run t ~input:(i <> 1)))
+  in
+  ignore (Sim.run sim);
+  let st = C.stats t in
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check (option bool)) "stats mirror results" (Sim.result h)
+        st.Ads89.decided.(i))
+    handles
+
+(* --- AH88 baseline ---------------------------------------------------- *)
+
+(* Returns (completed, decisions, max_round, max_register_bits). *)
+let run_ah88 ?(max_steps = 3_000_000) ~n ~seed ~adversary ~inputs () =
+  let sim = Sim.create ~seed ~max_steps ~n ~adversary () in
+  let module C = Ah88.Make ((val Sim.runtime sim)) in
+  let t = C.create () in
+  let handles =
+    Array.init n (fun i -> Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
+  in
+  let completed = Sim.run sim = Sim.Completed in
+  (completed, Array.map Sim.result handles, C.max_round t, C.max_register_bits t)
+
+let test_ah88_correct () =
+  for seed = 1 to 20 do
+    let n = 2 + (seed mod 3) in
+    let inputs = mixed_inputs n (seed + 600) in
+    let completed, decisions, _, _ =
+      run_ah88 ~n ~seed ~adversary:(Adversary.random ()) ~inputs ()
+    in
+    if not completed then Alcotest.failf "ah88: seed %d step limit" seed;
+    (match Spec.check ~inputs ~decisions with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "ah88: seed %d: %s" seed e);
+    if Array.exists (fun d -> d = None) decisions then
+      Alcotest.failf "ah88: seed %d: undecided process" seed
+  done
+
+let test_ah88_space_grows_with_rounds () =
+  let _, _, max_round, bits =
+    run_ah88 ~n:3 ~seed:5 ~adversary:(Adversary.random ())
+      ~inputs:[| true; false; true |] ()
+  in
+  Alcotest.(check bool) "rounds entered" true (max_round >= 1);
+  (* One counter per round: the register necessarily outgrows a
+     single-round footprint. *)
+  Alcotest.(check bool) "register grew with rounds" true (bits > max_round)
+
+let test_spec_checker () =
+  Alcotest.(check bool) "agreement ok" true
+    (Spec.check ~inputs:[| true; false |] ~decisions:[| Some true; Some true |]
+    = Ok ());
+  Alcotest.(check bool) "disagreement flagged" true
+    (Spec.check ~inputs:[| true; false |] ~decisions:[| Some true; Some false |]
+    <> Ok ());
+  Alcotest.(check bool) "validity flagged" true
+    (Spec.check ~inputs:[| true; true |] ~decisions:[| Some false; None |]
+    <> Ok ());
+  Alcotest.(check bool) "undecided ignored" true
+    (Spec.check ~inputs:[| true; false |] ~decisions:[| None; None |] = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "spec checker" `Quick test_spec_checker;
+    Alcotest.test_case "singleton decides" `Quick test_singleton;
+    Alcotest.test_case "unanimous validity (n=2..5)" `Quick
+      test_unanimous_all_sizes;
+    Alcotest.test_case "mixed inputs / random adversary" `Quick
+      test_mixed_random_adversary;
+    Alcotest.test_case "mixed inputs / round robin" `Quick test_mixed_round_robin;
+    Alcotest.test_case "mixed inputs / bursty" `Quick test_mixed_bursty;
+    Alcotest.test_case "crash tolerance" `Quick test_crash_tolerance;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "local-flips mode (n=2)" `Quick
+      test_local_flips_mode_small_n;
+    Alcotest.test_case "oracle mode" `Quick test_oracle_mode;
+    Alcotest.test_case "register bits constant" `Quick test_register_bits_constant;
+    Alcotest.test_case "stats mirror decisions" `Quick test_stats_decisions_match;
+    Alcotest.test_case "ah88: correct" `Quick test_ah88_correct;
+    Alcotest.test_case "ah88: space grows" `Quick test_ah88_space_grows_with_rounds;
+  ]
+
+(* --- Multivalued extension -------------------------------------------- *)
+
+let run_multivalued ~n ~seed ~width ~inputs =
+  let sim =
+    Sim.create ~seed ~max_steps:6_000_000 ~n ~adversary:(Adversary.random ())
+      ()
+  in
+  let module M = Multivalued.Make ((val Sim.runtime sim)) in
+  let t = M.create ~width () in
+  let handles =
+    Array.init n (fun i -> Sim.spawn sim (fun () -> M.run t ~input:inputs.(i)))
+  in
+  let completed = Sim.run sim = Sim.Completed in
+  (completed, Array.map Sim.result handles)
+
+let test_multivalued_agreement_and_validity () =
+  for seed = 1 to 12 do
+    let n = 2 + (seed mod 3) in
+    let r = Bprc_rng.Splitmix.create ~seed:(seed * 131) in
+    let inputs = Array.init n (fun _ -> Bprc_rng.Splitmix.int r 256) in
+    let completed, results = run_multivalued ~n ~seed ~width:8 ~inputs in
+    if not completed then Alcotest.failf "mv: seed %d timed out" seed;
+    let decided = Array.to_list results |> List.filter_map Fun.id in
+    Alcotest.(check int) "all decided" n (List.length decided);
+    (match decided with
+    | [] -> ()
+    | d :: rest ->
+      List.iter (fun d' -> Alcotest.(check int) "agreement" d d') rest;
+      (* Strong validity: the decision is somebody's actual input. *)
+      if not (Array.exists (Int.equal d) inputs) then
+        Alcotest.failf "mv: seed %d decided non-input %d" seed d)
+  done
+
+let test_multivalued_unanimous () =
+  let inputs = Array.make 3 199 in
+  let completed, results = run_multivalued ~n:3 ~seed:5 ~width:8 ~inputs in
+  Alcotest.(check bool) "completed" true completed;
+  Array.iter
+    (fun d -> Alcotest.(check (option int)) "unanimous value" (Some 199) d)
+    results
+
+let test_multivalued_domain_check () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let module M = Multivalued.Make ((val Sim.runtime sim)) in
+  let t = M.create ~width:4 () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         Alcotest.check_raises "domain"
+           (Invalid_argument "Multivalued.run: input outside domain")
+           (fun () -> ignore (M.run t ~input:16))));
+  ignore (Sim.run sim)
+
+let multivalued_suite =
+  [
+    Alcotest.test_case "multivalued: agreement+validity" `Quick
+      test_multivalued_agreement_and_validity;
+    Alcotest.test_case "multivalued: unanimous" `Quick test_multivalued_unanimous;
+    Alcotest.test_case "multivalued: domain check" `Quick
+      test_multivalued_domain_check;
+  ]
+
+let suite = suite @ multivalued_suite
+
+(* --- Snapshot ablation: the protocol over the unbounded snapshot ----- *)
+
+let test_consensus_over_unbounded_snapshot () =
+  (* The protocol only relies on P1-P3, so it must run unchanged over
+     the classical double-collect snapshot. *)
+  for seed = 1 to 10 do
+    let n = 3 in
+    let sim =
+      Sim.create ~seed ~max_steps:3_000_000 ~n ~adversary:(Adversary.random ())
+        ()
+    in
+    let module Snap = Bprc_snapshot.Unbounded.Make ((val Sim.runtime sim)) in
+    let module C = Ads89.Make_over_snapshot ((val Sim.runtime sim)) (Snap) in
+    let t = C.create () in
+    let inputs = mixed_inputs n (seed + 700) in
+    let handles =
+      Array.init n (fun i ->
+          Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
+    in
+    (match Sim.run sim with
+    | Sim.Completed -> ()
+    | Sim.Hit_step_limit -> Alcotest.failf "ablation: seed %d timed out" seed);
+    match Spec.check ~inputs ~decisions:(Array.map Sim.result handles) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "ablation: seed %d: %s" seed e
+  done
+
+(* --- Systematic (capped) schedule exploration ------------------------ *)
+
+let test_consensus_explored_schedules () =
+  (* Unlike the seeded random tests, this drives consensus down
+     thousands of *systematically distinct* schedule prefixes (DFS by
+     the explorer), checking consistency and validity on each complete
+     run.  Exhaustion is far out of reach; coverage of the deepest
+     decision points is the value. *)
+  let params = { Params.default with Params.m = Some 40 } in
+  let runs_checked = ref 0 in
+  let stats =
+    Explore.search ~n:2 ~max_steps:1500 ~max_runs:1500
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let module C = Ads89.Make ((val (module R : Runtime_intf.S))) in
+        let t = C.create ~params () in
+        let inputs = [| true; false |] in
+        let decisions = [| None; None |] in
+        let body i = decisions.(i) <- Some (C.run t ~input:inputs.(i)) in
+        let check sim =
+          if Sim.clock sim < 1500 then begin
+            incr runs_checked;
+            Spec.check_exn ~inputs ~decisions;
+            if Array.exists (fun d -> d = None) decisions then
+              failwith "explored run completed without decisions"
+          end
+        in
+        (body, check))
+      ()
+  in
+  Alcotest.(check bool) "explored many runs" true (stats.Explore.runs >= 1500);
+  Alcotest.(check bool) "checked complete runs" true (!runs_checked > 0)
+
+(* --- Multicore soak --------------------------------------------------- *)
+
+let test_par_consensus_soak () =
+  (* Real domains, repeated instances, all three vote patterns; every
+     instance must agree and respect validity. *)
+  for rep = 1 to 6 do
+    let n = 4 in
+    let rt = Par.make_runtime ~seed:rep ~n () in
+    let module C = Ads89.Make ((val rt)) in
+    let t = C.create ~name:(Printf.sprintf "soak%d" rep) () in
+    let inputs =
+      match rep mod 3 with
+      | 0 -> Array.make n true
+      | 1 -> Array.make n false
+      | _ -> Array.init n (fun i -> i mod 2 = 0)
+    in
+    let results =
+      Par.run ~runtime:rt ~n (fun _ i -> C.run t ~input:inputs.(i))
+    in
+    let first = results.(0) in
+    Array.iter
+      (fun r -> Alcotest.(check bool) "par agreement" first r)
+      results;
+    if Array.for_all Fun.id inputs then
+      Alcotest.(check bool) "par validity (true)" true first;
+    if not (Array.exists Fun.id inputs) then
+      Alcotest.(check bool) "par validity (false)" false first
+  done
+
+let extra_suite =
+  [
+    Alcotest.test_case "snapshot ablation (unbounded)" `Quick
+      test_consensus_over_unbounded_snapshot;
+    Alcotest.test_case "explored schedules (DFS)" `Slow
+      test_consensus_explored_schedules;
+    Alcotest.test_case "par: consensus soak" `Quick test_par_consensus_soak;
+  ]
+
+let suite = suite @ extra_suite
+
+(* --- Parameter-space fuzzing ------------------------------------------ *)
+
+let prop_consensus_param_fuzz =
+  (* Random legal parameter combinations, sizes, schedulers, inputs:
+     the spec must hold and the run must complete. *)
+  QCheck.Test.make ~name:"consensus correct across the parameter space"
+    ~count:60
+    QCheck.(
+      quad (int_range 2 4) (* k *)
+        (int_range 1 3) (* delta *)
+        (int_range 1 5) (* n *)
+        (pair small_int (int_range 0 2) (* seed, scheduler *)))
+    (fun (k, delta, n, (seed, sched_ix)) ->
+      let params = { Params.default with Params.k; delta } in
+      let adversary =
+        match sched_ix with
+        | 0 -> Adversary.random ()
+        | 1 -> Adversary.round_robin ()
+        | _ -> Adversary.bursty ~burst:7 ()
+      in
+      let sim = Sim.create ~seed ~max_steps:3_000_000 ~n ~adversary () in
+      let module C = Ads89.Make ((val Sim.runtime sim)) in
+      let t = C.create ~params () in
+      let inputs = mixed_inputs n (seed + 9000) in
+      let handles =
+        Array.init n (fun i ->
+            Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
+      in
+      let completed = Sim.run sim = Sim.Completed in
+      completed
+      && Spec.check ~inputs ~decisions:(Array.map Sim.result handles) = Ok ())
+
+let prop_multivalued_fuzz =
+  QCheck.Test.make ~name:"multivalued consensus across widths" ~count:25
+    QCheck.(pair (int_range 1 10) (pair (int_range 2 3) small_int))
+    (fun (width, (n, seed)) ->
+      let sim =
+        Sim.create ~seed ~max_steps:10_000_000 ~n
+          ~adversary:(Adversary.random ()) ()
+      in
+      let module M = Multivalued.Make ((val Sim.runtime sim)) in
+      let t = M.create ~width () in
+      let rng = Bprc_rng.Splitmix.create ~seed:(seed + 1) in
+      let inputs =
+        Array.init n (fun _ -> Bprc_rng.Splitmix.int rng (1 lsl width))
+      in
+      let handles =
+        Array.init n (fun i ->
+            Sim.spawn sim (fun () -> M.run t ~input:inputs.(i)))
+      in
+      let completed = Sim.run sim = Sim.Completed in
+      let decisions = Array.map Sim.result handles |> Array.to_list in
+      completed
+      &&
+      match List.filter_map Fun.id decisions with
+      | [] -> false
+      | d :: rest ->
+        List.for_all (Int.equal d) rest && Array.exists (Int.equal d) inputs)
+
+let fuzz_suite =
+  [
+    QCheck_alcotest.to_alcotest prop_consensus_param_fuzz;
+    QCheck_alcotest.to_alcotest prop_multivalued_fuzz;
+  ]
+
+let suite = suite @ fuzz_suite

@@ -1,0 +1,249 @@
+open Bprc_harness
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_mean () =
+  Alcotest.(check bool) "empty" true (feq (Stats.mean []) 0.0);
+  Alcotest.(check bool) "simple" true (feq (Stats.mean [ 1.0; 2.0; 3.0 ]) 2.0)
+
+let test_stddev () =
+  Alcotest.(check bool) "constant" true (feq (Stats.stddev [ 5.0; 5.0; 5.0 ]) 0.0);
+  (* Sample stddev of {2,4,4,4,5,5,7,9} is ~2.138. *)
+  let s = Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check bool) (Printf.sprintf "known value (%f)" s) true
+    (abs_float (s -. 2.13809) < 1e-4)
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check bool) "p0 = min" true (feq (Stats.percentile 0.0 xs) 1.0);
+  Alcotest.(check bool) "p100 = max" true (feq (Stats.percentile 100.0 xs) 5.0);
+  Alcotest.(check bool) "median" true (feq (Stats.median xs) 3.0);
+  Alcotest.(check bool) "p25 interp" true (feq (Stats.percentile 25.0 xs) 2.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty list")
+    (fun () -> ignore (Stats.percentile 50.0 []))
+
+let test_loglog_slope () =
+  (* y = 3 x^2 exactly. *)
+  let pts = List.map (fun x -> (x, 3.0 *. x *. x)) [ 1.0; 2.0; 4.0; 8.0 ] in
+  Alcotest.(check bool) "slope 2" true
+    (abs_float (Stats.loglog_slope pts -. 2.0) < 1e-9);
+  (* Non-positive points are dropped, not crashed on. *)
+  let with_zero = (0.0, 5.0) :: pts in
+  Alcotest.(check bool) "zero dropped" true
+    (abs_float (Stats.loglog_slope with_zero -. 2.0) < 1e-9)
+
+let test_linear_slope () =
+  let pts = [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  Alcotest.(check bool) "slope 2" true (feq (Stats.linear_slope pts) 2.0);
+  Alcotest.(check bool) "degenerate" true (feq (Stats.linear_slope [ (1., 1.) ]) 0.0)
+
+let test_ci95_shrinks () =
+  let narrow = List.init 100 (fun i -> float_of_int (i mod 2)) in
+  let wide = [ 0.0; 1.0 ] in
+  Alcotest.(check bool) "more data, tighter ci" true
+    (Stats.ci95 narrow < Stats.ci95 wide)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 20) (float_bound_exclusive 100.0))
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_table () =
+  Table.make ~id:"T0" ~title:"sample" ~columns:[ "a"; "bb" ]
+    ~notes:[ "a note" ]
+    [ [ "1"; "2" ]; [ "33"; "4" ] ]
+
+let test_table_render () =
+  let s = Table.render (sample_table ()) in
+  Alcotest.(check bool) "has title" true
+    (Astring.String.is_infix ~affix:"T0: sample" s
+     || String.length s > 0 && String.sub s 0 3 = "===");
+  Alcotest.(check bool) "has note" true
+    (String.length s > 0
+    && List.exists
+         (fun line -> String.trim line = "a note")
+         (String.split_on_char '\n' s))
+
+let test_table_row_mismatch () =
+  Alcotest.check_raises "row width" (Invalid_argument "Table.make: row width mismatch")
+    (fun () ->
+      ignore
+        (Table.make ~id:"X" ~title:"t" ~columns:[ "a"; "b" ] [ [ "1" ] ]))
+
+let test_table_csv () =
+  let csv = Table.to_csv (sample_table ()) in
+  Alcotest.(check string) "csv" "a,bb\n1,2\n33,4\n" csv
+
+let test_table_csv_escaping () =
+  let t =
+    Table.make ~id:"X" ~title:"t" ~columns:[ "a" ] [ [ "x,y" ]; [ "q\"z" ] ]
+  in
+  Alcotest.(check string) "escaped" "a\n\"x,y\"\n\"q\"\"z\"\n" (Table.to_csv t)
+
+let test_fmt_float () =
+  Alcotest.(check string) "integer" "42" (Table.fmt_float 42.0);
+  Alcotest.(check string) "small" "0.125" (Table.fmt_float 0.125);
+  Alcotest.(check string) "large" "1234.5" (Table.fmt_float 1234.5)
+
+(* ------------------------------------------------------------------ *)
+(* Run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_inputs_of_pattern () =
+  Alcotest.(check (array bool)) "unanimous" [| true; true; true |]
+    (Run.inputs_of_pattern (Run.Unanimous true) ~n:3 ~seed:1);
+  Alcotest.(check (array bool)) "split" [| true; false; true; false |]
+    (Run.inputs_of_pattern Run.Split ~n:4 ~seed:1);
+  let a = Run.inputs_of_pattern Run.Random_inputs ~n:8 ~seed:5 in
+  let b = Run.inputs_of_pattern Run.Random_inputs ~n:8 ~seed:5 in
+  Alcotest.(check (array bool)) "random deterministic" a b
+
+let test_coin_once_deterministic () =
+  let a = Run.coin_once ~n:3 ~seed:11 () in
+  let b = Run.coin_once ~n:3 ~seed:11 () in
+  Alcotest.(check bool) "same values" true (a.Run.values = b.Run.values);
+  Alcotest.(check int) "same steps" a.Run.walk_steps b.Run.walk_steps
+
+let test_coin_once_adaptive_completes () =
+  List.iter
+    (fun sched ->
+      let r = Run.coin_once ~sched ~n:4 ~seed:3 () in
+      Alcotest.(check bool)
+        (Run.sched_name sched ^ " completes")
+        true r.Run.coin_completed;
+      Alcotest.(check int)
+        (Run.sched_name sched ^ " everyone decides")
+        4
+        (List.length r.Run.values))
+    [ Run.Anti_coin_sched; Run.Osc_coin_sched ]
+
+let test_consensus_once_all_scheds () =
+  List.iter
+    (fun sched ->
+      let r =
+        Run.consensus_once ~sched ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
+          ~pattern:Run.Split ~n:4 ~seed:2 ()
+      in
+      Alcotest.(check bool) (Run.sched_name sched ^ " ok") true
+        (r.Run.completed && r.Run.spec = Ok ()))
+    [
+      Run.Random_sched;
+      Run.Round_robin_sched;
+      Run.Bursty_sched 5;
+      Run.Anti_coin_sched;
+      Run.Osc_coin_sched;
+    ]
+
+let test_consensus_once_crash () =
+  let r =
+    Run.consensus_once ~crash_at:[ (80, 0) ]
+      ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk) ~pattern:Run.Random_inputs
+      ~n:3 ~seed:4 ()
+  in
+  Alcotest.(check bool) "completes despite crash" true r.Run.completed;
+  Alcotest.(check bool) "spec holds" true (r.Run.spec = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Experiments (smoke at tiny sizes)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_experiments_registry () =
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Experiments.ids);
+  List.iter
+    (fun id ->
+      match Experiments.by_id id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "missing %s" id)
+    Experiments.ids;
+  Alcotest.(check bool) "case-insensitive" true (Experiments.by_id "e1" <> None);
+  Alcotest.(check bool) "unknown" true (Experiments.by_id "E99" = None)
+
+let test_experiment_tables_well_formed () =
+  (* The fast experiments, at quick sizes: tables render and rows align. *)
+  List.iter
+    (fun id ->
+      match Experiments.by_id id with
+      | None -> Alcotest.failf "missing %s" id
+      | Some fn ->
+        let t = fn ~quick:true () in
+        let rendered = Table.render t in
+        Alcotest.(check bool) (id ^ " renders") true (String.length rendered > 0))
+    [ "E3"; "E4"; "E7"; "E8" ]
+
+let test_e8_reports_zero_mismatches () =
+  match Experiments.by_id "E8" with
+  | None -> Alcotest.fail "E8 missing"
+  | Some fn ->
+    let t = fn ~quick:true () in
+    List.iter
+      (fun row ->
+        match List.rev row with
+        | mismatches :: _ ->
+          Alcotest.(check string) "no mismatches" "0" mismatches
+        | [] -> Alcotest.fail "empty row")
+      t.Table.rows
+
+let test_e9_reports_zero_violations () =
+  match Experiments.by_id "E9" with
+  | None -> Alcotest.fail "E9 missing"
+  | Some fn ->
+    let t = fn ~quick:true () in
+    List.iter
+      (fun row ->
+        match row with
+        | _ :: _ :: _ :: _ :: violations :: _ ->
+          Alcotest.(check string) "no violations" "0" violations
+        | _ -> Alcotest.fail "unexpected row shape")
+      t.Table.rows
+
+let suite =
+  [
+    Alcotest.test_case "stats: mean" `Quick test_mean;
+    Alcotest.test_case "stats: stddev" `Quick test_stddev;
+    Alcotest.test_case "stats: percentile" `Quick test_percentile;
+    Alcotest.test_case "stats: loglog slope" `Quick test_loglog_slope;
+    Alcotest.test_case "stats: linear slope" `Quick test_linear_slope;
+    Alcotest.test_case "stats: ci95" `Quick test_ci95_shrinks;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_mean_between_min_max;
+    Alcotest.test_case "table: render" `Quick test_table_render;
+    Alcotest.test_case "table: row mismatch" `Quick test_table_row_mismatch;
+    Alcotest.test_case "table: csv" `Quick test_table_csv;
+    Alcotest.test_case "table: csv escaping" `Quick test_table_csv_escaping;
+    Alcotest.test_case "table: float formatting" `Quick test_fmt_float;
+    Alcotest.test_case "run: input patterns" `Quick test_inputs_of_pattern;
+    Alcotest.test_case "run: coin deterministic" `Quick
+      test_coin_once_deterministic;
+    Alcotest.test_case "run: adaptive coins complete" `Quick
+      test_coin_once_adaptive_completes;
+    Alcotest.test_case "run: consensus all schedulers" `Quick
+      test_consensus_once_all_scheds;
+    Alcotest.test_case "run: crash injection" `Quick test_consensus_once_crash;
+    Alcotest.test_case "experiments: registry" `Quick test_experiments_registry;
+    Alcotest.test_case "experiments: tables well-formed" `Slow
+      test_experiment_tables_well_formed;
+    Alcotest.test_case "experiments: E8 zero mismatches" `Slow
+      test_e8_reports_zero_mismatches;
+    Alcotest.test_case "experiments: E9 zero violations" `Slow
+      test_e9_reports_zero_violations;
+  ]

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "bprc"
+    [
+      ("util", Test_util.suite);
+      ("rng", Test_rng.suite);
+      ("runtime", Test_runtime.suite);
+      ("registers", Test_registers.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("strip", Test_strip.suite);
+      ("coin", Test_coin.suite);
+      ("consensus", Test_consensus.suite);
+      ("virtual-rounds", Test_virtual_rounds.suite);
+      ("harness", Test_harness.suite);
+      ("universal", Test_universal.suite);
+      ("netsim", Test_netsim.suite);
+    ]

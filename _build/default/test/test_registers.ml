@@ -1,0 +1,595 @@
+open Bprc_runtime
+open Bprc_registers
+
+(* ------------------------------------------------------------------ *)
+(* Linearize checker on hand-built histories                           *)
+(* ------------------------------------------------------------------ *)
+
+let op pid s f kind = { History.pid; start_time = s; finish_time = f; kind }
+
+let test_lin_sequential_legal () =
+  let h = [ op 0 0 1 (History.W 5); op 1 2 3 (History.R 5) ] in
+  Alcotest.(check bool) "legal" true (Linearize.atomic ~init:0 h)
+
+let test_lin_sequential_illegal () =
+  let h = [ op 0 0 1 (History.W 5); op 1 2 3 (History.R 7) ] in
+  Alcotest.(check bool) "illegal" false (Linearize.atomic ~init:0 h)
+
+let test_lin_initial_value () =
+  Alcotest.(check bool) "read init" true
+    (Linearize.atomic ~init:9 [ op 0 0 1 (History.R 9) ]);
+  Alcotest.(check bool) "read wrong init" false
+    (Linearize.atomic ~init:9 [ op 0 0 1 (History.R 3) ])
+
+let test_lin_overlap_choice () =
+  (* A read overlapping a write may return old or new. *)
+  let base = op 0 0 10 (History.W 5) in
+  Alcotest.(check bool) "new ok" true
+    (Linearize.atomic ~init:0 [ base; op 1 2 3 (History.R 5) ]);
+  Alcotest.(check bool) "old ok" true
+    (Linearize.atomic ~init:0 [ base; op 1 2 3 (History.R 0) ])
+
+let test_lin_new_old_inversion () =
+  (* Two sequential reads during one long write: new then old is the
+     classic atomicity violation. *)
+  let h =
+    [
+      op 0 0 100 (History.W 5);
+      op 1 10 20 (History.R 5);
+      op 1 30 40 (History.R 0);
+    ]
+  in
+  Alcotest.(check bool) "inversion rejected" false (Linearize.atomic ~init:0 h);
+  (* Old then new is fine. *)
+  let h' =
+    [
+      op 0 0 100 (History.W 5);
+      op 1 10 20 (History.R 0);
+      op 1 30 40 (History.R 5);
+    ]
+  in
+  Alcotest.(check bool) "old-then-new accepted" true
+    (Linearize.atomic ~init:0 h')
+
+let test_lin_stale_read_rejected () =
+  (* w(1) then w(2) complete; a later read of 1 is illegal. *)
+  let h =
+    [
+      op 0 0 1 (History.W 1);
+      op 0 2 3 (History.W 2);
+      op 1 4 5 (History.R 1);
+    ]
+  in
+  Alcotest.(check bool) "stale rejected" false (Linearize.atomic ~init:0 h)
+
+let test_lin_concurrent_writes_order_free () =
+  (* Two overlapping writes; a later read may see either. *)
+  let h v =
+    [
+      op 0 0 10 (History.W 1);
+      op 1 0 10 (History.W 2);
+      op 2 11 12 (History.R v);
+    ]
+  in
+  Alcotest.(check bool) "sees 1" true (Linearize.atomic ~init:0 (h 1));
+  Alcotest.(check bool) "sees 2" true (Linearize.atomic ~init:0 (h 2));
+  Alcotest.(check bool) "sees ghost" false (Linearize.atomic ~init:0 (h 3))
+
+let test_lin_witness_order () =
+  let h =
+    [ op 0 0 1 (History.W 1); op 1 2 3 (History.R 1); op 0 4 5 (History.W 2) ]
+  in
+  match Linearize.witness ~init:0 h with
+  | None -> Alcotest.fail "expected witness"
+  | Some order ->
+    Alcotest.(check int) "all ops in order" 3 (List.length order);
+    (* The witness must itself replay legally. *)
+    let value = ref 0 in
+    List.iter
+      (fun o ->
+        match o.History.kind with
+        | History.W v -> value := v
+        | History.R v ->
+          Alcotest.(check int) "witness read legal" !value v)
+      order
+
+let test_lin_too_many_ops () =
+  let h = List.init 62 (fun i -> op 0 (2 * i) ((2 * i) + 1) (History.W i)) in
+  Alcotest.check_raises "cap" (Invalid_argument "Linearize: more than 61 operations")
+    (fun () -> ignore (Linearize.atomic ~init:0 h))
+
+let test_regular_checker () =
+  (* Read overlapping w(5) may return 0 or 5 but not 7. *)
+  let mk v = [ op 0 0 10 (History.W 5); op 1 2 3 (History.R v) ] in
+  Alcotest.(check bool) "old" true (Linearize.regular ~init:0 (mk 0));
+  Alcotest.(check bool) "new" true (Linearize.regular ~init:0 (mk 5));
+  Alcotest.(check bool) "ghost" false (Linearize.regular ~init:0 (mk 7));
+  (* Regularity tolerates the new/old inversion that atomicity rejects. *)
+  let inv =
+    [
+      op 0 0 100 (History.W 5);
+      op 1 10 20 (History.R 5);
+      op 1 30 40 (History.R 0);
+    ]
+  in
+  Alcotest.(check bool) "inversion tolerated" true
+    (Linearize.regular ~init:0 inv)
+
+let test_regular_overlapping_writes_rejected () =
+  let h = [ op 0 0 10 (History.W 1); op 1 5 15 (History.W 2) ] in
+  Alcotest.check_raises "overlapping writes"
+    (Invalid_argument "Linearize.regular: overlapping writes") (fun () ->
+      ignore (Linearize.regular ~init:0 h))
+
+(* ------------------------------------------------------------------ *)
+(* Helpers: run a scenario in the simulator, recording a history       *)
+(* ------------------------------------------------------------------ *)
+
+let timed (module R : Runtime_intf.S) hist pid kind f =
+  let s = History.stamp hist in
+  let r = f () in
+  History.record hist
+    { History.pid; start_time = s; finish_time = History.stamp hist; kind = kind r };
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Weak registers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_weak_sequential_reads_exact () =
+  (* With a single process there is no overlap: reads must be exact for
+     both semantics. *)
+  List.iter
+    (fun sem_is_safe ->
+      let sim =
+        Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) ()
+      in
+      let (module R) = Sim.runtime sim in
+      let module W = Weak.Make ((val Sim.runtime sim)) in
+      ignore (module R : Runtime_intf.S);
+      let reg =
+        W.make (if sem_is_safe then W.Safe { domain = 8 } else W.Regular) ~init:3
+      in
+      let h =
+        Sim.spawn sim (fun () ->
+            let a = W.read reg in
+            W.write reg 5;
+            let b = W.read reg in
+            W.write reg 7;
+            let c = W.read reg in
+            (a, b, c))
+      in
+      ignore (Sim.run sim);
+      Alcotest.(check (option (triple int int int)))
+        "sequential exact" (Some (3, 5, 7)) (Sim.result h))
+    [ true; false ]
+
+let test_weak_regular_random_schedules () =
+  (* One writer, two readers under random schedules: every completed
+     history must satisfy the regular checker. *)
+  for seed = 1 to 60 do
+    let sim = Sim.create ~seed ~n:3 ~adversary:(Adversary.random ()) () in
+    let (module R) = Sim.runtime sim in
+    let module W = Weak.Make ((val Sim.runtime sim)) in
+    let reg = W.make W.Regular ~init:0 in
+    let hist = History.create () in
+    ignore
+      (Sim.spawn sim (fun () ->
+           for v = 1 to 4 do
+             timed (module R) hist 0 (fun () -> History.W v) (fun () ->
+                 W.write reg v)
+           done));
+    for p = 1 to 2 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for _ = 1 to 4 do
+               ignore
+                 (timed (module R) hist p (fun v -> History.R v) (fun () ->
+                      W.read reg))
+             done))
+    done;
+    ignore (Sim.run sim);
+    if not (Linearize.regular ~init:0 (History.ops hist)) then
+      Alcotest.failf "regular violation at seed %d" seed
+  done
+
+let test_weak_safe_stays_in_domain () =
+  for seed = 1 to 40 do
+    let sim = Sim.create ~seed ~n:2 ~adversary:(Adversary.random ()) () in
+    let module W = Weak.Make ((val Sim.runtime sim)) in
+    let reg = W.make (W.Safe { domain = 4 }) ~init:0 in
+    ignore
+      (Sim.spawn sim (fun () ->
+           for v = 0 to 3 do
+             W.write reg v
+           done));
+    let h =
+      Sim.spawn sim (fun () -> List.init 6 (fun _ -> W.read reg))
+    in
+    ignore (Sim.run sim);
+    match Sim.result h with
+    | None -> Alcotest.fail "reader did not finish"
+    | Some vs ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= 4 then Alcotest.failf "safe out of domain: %d" v)
+        vs
+  done
+
+let test_weak_rejects_bad_domain () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let module W = Weak.Make ((val Sim.runtime sim)) in
+  Alcotest.check_raises "bad domain"
+    (Invalid_argument "Weak.make: domain must be positive") (fun () ->
+      ignore (W.make (W.Safe { domain = 0 }) ~init:0))
+
+(* ------------------------------------------------------------------ *)
+(* Regular-from-safe and k-ary-from-bits constructions                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_regular_of_safe_exhaustive () =
+  (* Writer toggles the bit twice; reader reads twice.  Exhaustively,
+     every history must be regular. *)
+  let stats =
+    Explore.search ~n:2 ~max_steps:400
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let module B = Regular_of_safe.Make ((val (module R : Runtime_intf.S))) in
+        let reg = B.make ~init:false () in
+        let hist = History.create () in
+        let record pid kind f = ignore (timed (module R) hist pid kind f) in
+        let body = function
+          | 0 ->
+            record 0 (fun _ -> History.W 1) (fun () -> B.write reg true; true);
+            record 0 (fun _ -> History.W 0) (fun () -> B.write reg false; false)
+          | _ ->
+            record 1 (fun v -> History.R (Bool.to_int v)) (fun () -> B.read reg);
+            record 1 (fun v -> History.R (Bool.to_int v)) (fun () -> B.read reg)
+        in
+        let check _sim =
+          if not (Linearize.regular ~init:0 (History.ops hist)) then
+            failwith "regular_of_safe: regularity violated"
+        in
+        (body, check))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted
+
+let test_kary_regular_random () =
+  for seed = 1 to 40 do
+    let sim = Sim.create ~seed ~n:2 ~adversary:(Adversary.random ()) () in
+    let (module R) = Sim.runtime sim in
+    let module K = Unary_kary.Make ((val Sim.runtime sim)) in
+    let reg = K.make ~k:5 ~init:2 () in
+    let hist = History.create () in
+    ignore
+      (Sim.spawn sim (fun () ->
+           List.iter
+             (fun v ->
+               timed (module R) hist 0 (fun _ -> History.W v) (fun () ->
+                   K.write reg v))
+             [ 4; 0; 3; 1 ]));
+    ignore
+      (Sim.spawn sim (fun () ->
+           for _ = 1 to 6 do
+             ignore
+               (timed (module R) hist 1 (fun v -> History.R v) (fun () ->
+                    K.read reg))
+           done));
+    ignore (Sim.run sim);
+    if not (Linearize.regular ~init:2 (History.ops hist)) then
+      Alcotest.failf "kary regularity violation at seed %d" seed
+  done
+
+let test_kary_range_checks () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let module K = Unary_kary.Make ((val Sim.runtime sim)) in
+  Alcotest.check_raises "bad init"
+    (Invalid_argument "Unary_kary.make: init out of range") (fun () ->
+      ignore (K.make ~k:3 ~init:3 ()))
+
+(* ------------------------------------------------------------------ *)
+(* VA-style SWMR atomic construction                                   *)
+(* ------------------------------------------------------------------ *)
+
+let va_scenario ~writes ~reads_per_reader seed =
+  let n = 3 in
+  let sim = Sim.create ~seed ~n ~adversary:(Adversary.random ()) () in
+  let (module R) = Sim.runtime sim in
+  let module V = Va_swmr.Make ((val Sim.runtime sim)) in
+  let reg = V.make ~readers:2 ~init:0 () in
+  let hist = History.create () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for v = 1 to writes do
+           timed (module R) hist 0 (fun _ -> History.W v) (fun () ->
+               V.write reg v)
+         done));
+  for r = 0 to 1 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           for _ = 1 to reads_per_reader do
+             ignore
+               (timed (module R) hist (r + 1) (fun v -> History.R v) (fun () ->
+                    V.read reg ~me:r))
+           done))
+  done;
+  ignore (Sim.run sim);
+  History.ops hist
+
+let test_va_atomic_random () =
+  for seed = 1 to 80 do
+    let ops = va_scenario ~writes:4 ~reads_per_reader:4 seed in
+    if not (Linearize.atomic ~init:0 ops) then
+      Alcotest.failf "VA atomicity violation at seed %d" seed
+  done
+
+let test_va_atomic_exhaustive () =
+  (* Writer: 2 writes; two readers: 1 read each.  Full interleaving
+     space, every history linearizable. *)
+  let stats =
+    Explore.search ~n:3 ~max_steps:400
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let module V = Va_swmr.Make ((val (module R : Runtime_intf.S))) in
+        let reg = V.make ~readers:2 ~init:0 () in
+        let hist = History.create () in
+        let body = function
+          | 0 ->
+            for v = 1 to 2 do
+              timed (module R) hist 0 (fun _ -> History.W v) (fun () ->
+                  V.write reg v)
+            done
+          | p ->
+            ignore
+              (timed (module R) hist p (fun v -> History.R v) (fun () ->
+                   V.read reg ~me:(p - 1)))
+        in
+        let check _sim =
+          if not (Linearize.atomic ~init:0 (History.ops hist)) then
+            failwith "VA: atomicity violated"
+        in
+        (body, check))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted
+
+let test_va_seq_grows () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let module V = Va_swmr.Make ((val Sim.runtime sim)) in
+  let reg = V.make ~readers:1 ~init:0 () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for v = 1 to 10 do
+           V.write reg v
+         done));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "timestamps unbounded" 10 (V.max_seq reg)
+
+(* ------------------------------------------------------------------ *)
+(* Bloom two-writer construction                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Scenario: w0 writes 10 then 30; w1 writes 5 then 40; one reader.
+   Small enough to exhaust. *)
+let bloom_explore strategy =
+  let violations = ref 0 in
+  let stats =
+    (* The Reread_winner reader costs one extra step, pushing the
+       interleaving count to 14!/(5!5!4!) = 252252. *)
+    Explore.search ~n:3 ~max_steps:400 ~max_runs:400_000
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let module B = Bloom_2w.Make ((val (module R : Runtime_intf.S))) in
+        let reg = B.make ~strategy ~init:0 () in
+        let hist = History.create () in
+        let body = function
+          | 0 ->
+            List.iter
+              (fun v ->
+                timed (module R) hist 0 (fun _ -> History.W v) (fun () ->
+                    B.write reg ~me:0 v))
+              [ 10; 30 ]
+          | 1 ->
+            List.iter
+              (fun v ->
+                timed (module R) hist 1 (fun _ -> History.W v) (fun () ->
+                    B.write reg ~me:1 v))
+              [ 5; 40 ]
+          | _ ->
+            ignore
+              (timed (module R) hist 2 (fun v -> History.R v) (fun () ->
+                   B.read reg))
+        in
+        let check _sim =
+          if not (Linearize.atomic ~init:0 (History.ops hist)) then
+            incr violations
+        in
+        (body, check))
+      ()
+  in
+  (stats, !violations)
+
+let test_bloom_single_collect_not_atomic () =
+  let stats, violations = bloom_explore Bloom_2w.Single_collect in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted;
+  Alcotest.(check bool)
+    (Printf.sprintf "found violations (%d)" violations)
+    true (violations > 0)
+
+let test_bloom_reread_atomic_exhaustive () =
+  let stats, violations = bloom_explore Bloom_2w.Reread_winner in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted;
+  Alcotest.(check int) "no violations" 0 violations
+
+let test_bloom_reread_atomic_random_soak () =
+  (* Bigger scenario under random schedules: 2 writers x 3 writes,
+     2 readers x 3 reads. *)
+  for seed = 1 to 120 do
+    let sim = Sim.create ~seed ~n:4 ~adversary:(Adversary.random ()) () in
+    let (module R) = Sim.runtime sim in
+    let module B = Bloom_2w.Make ((val Sim.runtime sim)) in
+    let reg = B.make ~init:0 () in
+    let hist = History.create () in
+    for w = 0 to 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for k = 1 to 3 do
+               let v = (10 * (w + 1)) + k in
+               timed (module R) hist w (fun _ -> History.W v) (fun () ->
+                   B.write reg ~me:w v)
+             done))
+    done;
+    for r = 2 to 3 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for _ = 1 to 3 do
+               ignore
+                 (timed (module R) hist r (fun v -> History.R v) (fun () ->
+                      B.read reg))
+             done))
+    done;
+    ignore (Sim.run sim);
+    if not (Linearize.atomic ~init:0 (History.ops hist)) then
+      Alcotest.failf "Bloom/Reread violation at seed %d" seed
+  done
+
+let suite =
+  [
+    Alcotest.test_case "lin: sequential legal" `Quick test_lin_sequential_legal;
+    Alcotest.test_case "lin: sequential illegal" `Quick
+      test_lin_sequential_illegal;
+    Alcotest.test_case "lin: initial value" `Quick test_lin_initial_value;
+    Alcotest.test_case "lin: overlap choice" `Quick test_lin_overlap_choice;
+    Alcotest.test_case "lin: new/old inversion" `Quick
+      test_lin_new_old_inversion;
+    Alcotest.test_case "lin: stale read" `Quick test_lin_stale_read_rejected;
+    Alcotest.test_case "lin: concurrent writes" `Quick
+      test_lin_concurrent_writes_order_free;
+    Alcotest.test_case "lin: witness" `Quick test_lin_witness_order;
+    Alcotest.test_case "lin: op cap" `Quick test_lin_too_many_ops;
+    Alcotest.test_case "regular checker" `Quick test_regular_checker;
+    Alcotest.test_case "regular: overlapping writes" `Quick
+      test_regular_overlapping_writes_rejected;
+    Alcotest.test_case "weak: sequential exact" `Quick
+      test_weak_sequential_reads_exact;
+    Alcotest.test_case "weak: regular random" `Quick
+      test_weak_regular_random_schedules;
+    Alcotest.test_case "weak: safe in domain" `Quick test_weak_safe_stays_in_domain;
+    Alcotest.test_case "weak: bad domain" `Quick test_weak_rejects_bad_domain;
+    Alcotest.test_case "reg-of-safe: exhaustive regular" `Slow
+      test_regular_of_safe_exhaustive;
+    Alcotest.test_case "kary: regular random" `Quick test_kary_regular_random;
+    Alcotest.test_case "kary: range checks" `Quick test_kary_range_checks;
+    Alcotest.test_case "va: atomic random" `Quick test_va_atomic_random;
+    Alcotest.test_case "va: atomic exhaustive" `Slow test_va_atomic_exhaustive;
+    Alcotest.test_case "va: unbounded timestamps" `Quick test_va_seq_grows;
+    Alcotest.test_case "bloom: single collect not atomic" `Slow
+      test_bloom_single_collect_not_atomic;
+    Alcotest.test_case "bloom: reread atomic exhaustive" `Slow
+      test_bloom_reread_atomic_exhaustive;
+    Alcotest.test_case "bloom: reread random soak" `Quick
+      test_bloom_reread_atomic_random_soak;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounded sequential timestamps (Israeli-Li style)                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_ts_new_dominates_all () =
+  (* n processes, each holding one label; random relabeling; every new
+     label must dominate all labels alive at its creation (including
+     the taker's old one). *)
+  let rng = Bprc_rng.Splitmix.create ~seed:71 in
+  List.iter
+    (fun n ->
+      let ts = Bounded_ts.create ~n in
+      let held = Array.make n (Bounded_ts.initial ts) in
+      for _ = 1 to 2000 do
+        let taker = Bprc_rng.Splitmix.int rng n in
+        let alive = Array.to_list held in
+        let fresh = Bounded_ts.new_label ts ~alive in
+        List.iter
+          (fun old ->
+            if not (Bounded_ts.dominates fresh old) then
+              Alcotest.failf "fresh %s does not dominate %s (n=%d)"
+                (Fmt.str "%a" Bounded_ts.pp fresh)
+                (Fmt.str "%a" Bounded_ts.pp old)
+                n)
+          alive;
+        held.(taker) <- fresh
+      done)
+    [ 1; 2; 3; 5 ]
+
+let test_ts_recency_order_among_alive () =
+  (* Between two currently-held labels, the more recently issued one
+     dominates. *)
+  let rng = Bprc_rng.Splitmix.create ~seed:73 in
+  let n = 4 in
+  let ts = Bounded_ts.create ~n in
+  let held = Array.make n (Bounded_ts.initial ts) in
+  let issued_at = Array.make n 0 in
+  for step = 1 to 3000 do
+    let taker = Bprc_rng.Splitmix.int rng n in
+    held.(taker) <- Bounded_ts.new_label ts ~alive:(Array.to_list held);
+    issued_at.(taker) <- step;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && issued_at.(i) > issued_at.(j) && issued_at.(i) > 0 then
+          if not (Bounded_ts.dominates held.(i) held.(j)) then
+            Alcotest.failf "recency order broken at step %d" step
+      done
+    done
+  done
+
+let test_ts_labels_bounded () =
+  let ts = Bounded_ts.create ~n:3 in
+  let l = Bounded_ts.new_label ts ~alive:[ Bounded_ts.initial ts ] in
+  Alcotest.(check int) "3 trits" 3 (List.length (Bounded_ts.label_trits l));
+  List.iter
+    (fun d ->
+      if d < 0 || d > 2 then Alcotest.fail "digit outside the 3-cycle")
+    (Bounded_ts.label_trits l)
+
+let test_ts_dominates_irreflexive () =
+  let ts = Bounded_ts.create ~n:2 in
+  let l = Bounded_ts.initial ts in
+  Alcotest.(check bool) "not self-dominating" false (Bounded_ts.dominates l l)
+
+let test_ts_guards () =
+  let ts = Bounded_ts.create ~n:2 in
+  let l = Bounded_ts.initial ts in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Bounded_ts.new_label: too many alive labels") (fun () ->
+      ignore (Bounded_ts.new_label ts ~alive:[ l; l; l ]));
+  let ts3 = Bounded_ts.create ~n:3 in
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Bounded_ts.new_label: label size mismatch") (fun () ->
+      ignore (Bounded_ts.new_label ts3 ~alive:[ l ]))
+
+let prop_ts_long_histories =
+  QCheck.Test.make ~name:"bounded timestamps survive long histories" ~count:40
+    QCheck.(pair (int_range 1 5) (list_of_size Gen.(int_range 1 120) (int_range 0 4)))
+    (fun (n, takers) ->
+      let ts = Bounded_ts.create ~n in
+      let held = Array.make n (Bounded_ts.initial ts) in
+      List.for_all
+        (fun who ->
+          let taker = who mod n in
+          let alive = Array.to_list held in
+          match Bounded_ts.new_label ts ~alive with
+          | fresh ->
+            let ok = List.for_all (Bounded_ts.dominates fresh) alive in
+            held.(taker) <- fresh;
+            ok
+          | exception Invalid_argument _ -> false)
+        takers)
+
+let ts_suite =
+  [
+    Alcotest.test_case "ts: new label dominates" `Quick test_ts_new_dominates_all;
+    Alcotest.test_case "ts: recency order" `Quick test_ts_recency_order_among_alive;
+    Alcotest.test_case "ts: labels bounded" `Quick test_ts_labels_bounded;
+    Alcotest.test_case "ts: irreflexive" `Quick test_ts_dominates_irreflexive;
+    Alcotest.test_case "ts: guards" `Quick test_ts_guards;
+    QCheck_alcotest.to_alcotest prop_ts_long_histories;
+  ]
+
+let suite = suite @ ts_suite

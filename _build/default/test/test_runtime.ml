@@ -1,0 +1,528 @@
+open Bprc_runtime
+
+(* A counter incremented concurrently: read, local bump, write.  Lost
+   updates are expected under adversarial interleaving; the final value
+   must be between 1 and the number of increments. *)
+let racy_increment read write reg rounds () =
+  for _ = 1 to rounds do
+    let v = read reg in
+    write reg (v + 1)
+  done
+
+let test_run_completes () =
+  let n = 3 in
+  let sim = Sim.create ~seed:1 ~n ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg ~name:"counter" 0 in
+  for _ = 1 to n do
+    ignore (Sim.spawn sim (racy_increment R.read R.write reg 5))
+  done;
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "unexpected step limit");
+  let v = R.peek reg in
+  Alcotest.(check bool)
+    (Printf.sprintf "final counter in [1,15], got %d" v)
+    true
+    (v >= 1 && v <= 15)
+
+let test_round_robin_serializes () =
+  (* Under round-robin with one process, increments are sequential. *)
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  ignore (Sim.spawn sim (racy_increment R.read R.write reg 10));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "single process: no lost updates" 10 (R.peek reg)
+
+let test_results_returned () =
+  let sim = Sim.create ~seed:2 ~n:2 ~adversary:(Adversary.random ()) () in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 100 in
+  let h1 = Sim.spawn sim (fun () -> R.read reg + 1) in
+  let h2 = Sim.spawn sim (fun () -> R.pid ()) in
+  ignore (Sim.run sim);
+  Alcotest.(check (option int)) "h1 result" (Some 101) (Sim.result h1);
+  Alcotest.(check (option int)) "h2 pid" (Some 1) (Sim.result h2)
+
+let test_pid_identity () =
+  let n = 4 in
+  let sim = Sim.create ~seed:3 ~n ~adversary:(Adversary.random ()) () in
+  let (module R) = Sim.runtime sim in
+  let regs = Array.init n (fun i -> R.make_reg ~name:(Printf.sprintf "r%d" i) (-1)) in
+  let handles =
+    Array.init n (fun i ->
+        Sim.spawn sim (fun () ->
+            let me = R.pid () in
+            R.write regs.(i) me;
+            me))
+  in
+  ignore (Sim.run sim);
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check (option int)) "pid matches spawn order" (Some i)
+        (Sim.result h);
+      Alcotest.(check int) "register written by own pid" i (R.peek regs.(i)))
+    handles
+
+let test_crash_excludes () =
+  let sim = Sim.create ~seed:4 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  let h0 = Sim.spawn sim (fun () -> R.write reg 1; 0) in
+  let _h1 = Sim.spawn sim (fun () -> R.read reg) in
+  Sim.crash sim 0;
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "step limit");
+  Alcotest.(check (option int)) "crashed process produced nothing" None
+    (Sim.result h0);
+  Alcotest.(check int) "crashed process never wrote" 0 (R.peek reg);
+  Alcotest.(check bool) "crashed flag" true (Sim.crashed sim 0);
+  Alcotest.(check bool) "other finished" true (Sim.finished sim 1)
+
+let test_step_limit () =
+  let sim =
+    Sim.create ~seed:5 ~max_steps:50 ~n:1 ~adversary:(Adversary.round_robin ())
+      ()
+  in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  ignore
+    (Sim.spawn sim (fun () ->
+         while true do
+           R.write reg (R.read reg + 1)
+         done));
+  (match Sim.run sim with
+  | Sim.Hit_step_limit -> ()
+  | Sim.Completed -> Alcotest.fail "expected step limit");
+  Alcotest.(check int) "clock at limit" 50 (Sim.clock sim)
+
+let test_step_accounting () =
+  let sim = Sim.create ~seed:6 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  ignore (Sim.spawn sim (fun () -> racy_increment R.read R.write reg 3 ()));
+  ignore (Sim.spawn sim (fun () -> ()));
+  ignore (Sim.run sim);
+  (* p0: 1 start step + 6 ops; p1: 1 start step. *)
+  Alcotest.(check int) "p0 steps" 7 (Sim.steps_of sim 0);
+  Alcotest.(check int) "p1 steps" 1 (Sim.steps_of sim 1);
+  Alcotest.(check int) "clock is total" 8 (Sim.clock sim)
+
+let test_flip_recorded_and_counted () =
+  let sim =
+    Sim.create ~seed:7 ~record_trace:true ~n:1
+      ~adversary:(Adversary.round_robin ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  ignore
+    (Sim.spawn sim (fun () ->
+         let h = ref 0 in
+         for _ = 1 to 20 do
+           if R.flip () then incr h
+         done;
+         !h));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "flips counted" 20 (Sim.flips_of sim 0);
+  let flips = ref 0 in
+  (match Sim.trace sim with
+  | None -> Alcotest.fail "trace missing"
+  | Some tr ->
+    Trace.iter
+      (fun e -> match e.Trace.kind with Trace.Flip _ -> incr flips | _ -> ())
+      tr);
+  Alcotest.(check int) "flips traced" 20 !flips
+
+let test_determinism_same_seed () =
+  let final_value seed =
+    let sim = Sim.create ~seed ~n:3 ~adversary:(Adversary.random ()) () in
+    let (module R) = Sim.runtime sim in
+    let reg = R.make_reg 0 in
+    for _ = 1 to 3 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for _ = 1 to 10 do
+               if R.flip () then R.write reg (R.read reg + 1)
+               else R.write reg (R.read reg - 1)
+             done))
+    done;
+    ignore (Sim.run sim);
+    (R.peek reg, Sim.clock sim)
+  in
+  Alcotest.(check bool) "same seed, same run" true
+    (final_value 42 = final_value 42);
+  ignore (final_value 43)
+
+let test_trace_times_monotonic () =
+  let sim =
+    Sim.create ~seed:8 ~record_trace:true ~n:2
+      ~adversary:(Adversary.random ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  for _ = 1 to 2 do
+    ignore (Sim.spawn sim (racy_increment R.read R.write reg 4))
+  done;
+  ignore (Sim.run sim);
+  match Sim.trace sim with
+  | None -> Alcotest.fail "trace missing"
+  | Some tr ->
+    let prev = ref (-1) in
+    Trace.iter
+      (fun e ->
+        if e.Trace.time < !prev then Alcotest.fail "trace times not monotone";
+        prev := e.Trace.time)
+      tr;
+    Alcotest.(check bool) "trace nonempty" true (Trace.length tr > 0)
+
+let test_prioritize_starves () =
+  (* Favored process 0 runs an infinite loop; process 1 never moves, so
+     the run hits the step limit with p1 having taken no steps. *)
+  let sim =
+    Sim.create ~seed:9 ~max_steps:100 ~n:2
+      ~adversary:(Adversary.prioritize ~favored:[ 0 ] ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  ignore
+    (Sim.spawn sim (fun () ->
+         while true do
+           ignore (R.read reg)
+         done));
+  ignore (Sim.spawn sim (fun () -> R.write reg 9));
+  (match Sim.run sim with
+  | Sim.Hit_step_limit -> ()
+  | Sim.Completed -> Alcotest.fail "expected starvation");
+  Alcotest.(check int) "starved process took no steps" 0 (Sim.steps_of sim 1);
+  Alcotest.(check int) "victim register untouched" 0 (R.peek reg)
+
+let test_bursty_progress () =
+  let sim =
+    Sim.create ~seed:10 ~n:3 ~adversary:(Adversary.bursty ~burst:5 ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  for _ = 1 to 3 do
+    ignore (Sim.spawn sim (racy_increment R.read R.write reg 10))
+  done;
+  match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "bursty adversary should finish"
+
+let test_spawn_too_many () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  ignore (Sim.spawn sim (fun () -> ()));
+  Alcotest.check_raises "overspawn"
+    (Invalid_argument "Sim.spawn: already spawned n processes") (fun () ->
+      ignore (Sim.spawn sim (fun () -> ())))
+
+let test_run_underspawned () =
+  let sim = Sim.create ~seed:1 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  ignore (Sim.spawn sim (fun () -> ()));
+  Alcotest.check_raises "underspawn"
+    (Invalid_argument "Sim.run: fewer processes spawned than n") (fun () ->
+      ignore (Sim.run sim))
+
+let test_flip_source_override () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  Sim.set_flip_source sim (fun ~pid:_ -> true);
+  let (module R) = Sim.runtime sim in
+  let h =
+    Sim.spawn sim (fun () ->
+        let c = ref 0 in
+        for _ = 1 to 10 do
+          if R.flip () then incr c
+        done;
+        !c)
+  in
+  ignore (Sim.run sim);
+  Alcotest.(check (option int)) "all heads" (Some 10) (Sim.result h)
+
+(* --- Par runtime ------------------------------------------------------ *)
+
+let test_par_pids_and_results () =
+  let results =
+    Par.run ~n:4 (fun (module R : Runtime_intf.S) i ->
+        Alcotest.(check int) "pid matches index" i (R.pid ());
+        i * 10)
+  in
+  Alcotest.(check (array int)) "results in order" [| 0; 10; 20; 30 |] results
+
+let test_par_register_visibility () =
+  (* Writer publishes, readers spin until they see it: genuine
+     cross-domain visibility through Atomic. *)
+  let results =
+    Par.run ~n:3 (fun (module R : Runtime_intf.S) i ->
+        let flag = R.make_reg ~name:"local" 0 in
+        ignore flag;
+        i)
+  in
+  Alcotest.(check int) "ran 3 processes" 3 (Array.length results)
+
+let shared_flag = ref None
+
+let test_par_handoff () =
+  (* A register created by pid 0 must be visible to pid 1; registers are
+     created before spawning via a tiny two-phase trick: pid 0 makes it
+     and publishes through a global, pid 1 spins. *)
+  shared_flag := None;
+  let results =
+    Par.run ~n:2 (fun (module R : Runtime_intf.S) i ->
+        if i = 0 then begin
+          let r = R.make_reg ~name:"shared" 41 in
+          R.write r 42;
+          shared_flag := Some (fun () -> R.peek r);
+          0
+        end
+        else begin
+          let rec wait () =
+            match !shared_flag with
+            | Some peek -> peek ()
+            | None ->
+              Domain.cpu_relax ();
+              wait ()
+          in
+          wait ()
+        end)
+  in
+  Alcotest.(check int) "reader saw write" 42 results.(1)
+
+let test_par_flip_deterministic_per_seed () =
+  let run () =
+    Par.run ~seed:77 ~n:2 (fun (module R : Runtime_intf.S) _ ->
+        List.init 50 (fun _ -> R.flip ()))
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "same seed, same per-process flips" true (a = b)
+
+let test_par_many_threads () =
+  (* Force the systhread fallback path with a large n. *)
+  let n = 64 in
+  let results = Par.run ~n (fun (module R : Runtime_intf.S) i -> R.pid () = i) in
+  Alcotest.(check bool) "all pids correct under systhreads" true
+    (Array.for_all Fun.id results)
+
+(* --- Explore ---------------------------------------------------------- *)
+
+let test_explore_exhausts_tiny () =
+  (* Two processes, one op each: the tree is tiny and must be exhausted. *)
+  let stats =
+    Explore.search ~n:2
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let reg = R.make_reg 0 in
+        let body i = R.write reg i in
+        let check _sim =
+          let v = R.peek reg in
+          if v <> 0 && v <> 1 then failwith "impossible final value"
+        in
+        (body, check))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted;
+  Alcotest.(check bool) "explored more than one run" true (stats.Explore.runs > 1)
+
+let test_explore_finds_race () =
+  (* Exploration must find the interleaving in which both processes read
+     0 before either writes, i.e. final counter 1 despite 2 increments. *)
+  let found_lost_update = ref false in
+  let stats =
+    Explore.search ~n:2
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let reg = R.make_reg 0 in
+        let body _ =
+          let v = R.read reg in
+          R.write reg (v + 1)
+        in
+        let check _sim = if R.peek reg = 1 then found_lost_update := true in
+        (body, check))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted;
+  Alcotest.(check bool) "lost update found" true !found_lost_update
+
+let test_explore_branches_on_flips () =
+  (* One process, two flips: 4 leaf outcomes must all be observed. *)
+  let seen = Hashtbl.create 4 in
+  let stats =
+    Explore.search ~n:1
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let reg = R.make_reg (false, false) in
+        let body _ =
+          let a = R.flip () in
+          let b = R.flip () in
+          R.write reg (a, b)
+        in
+        let check _sim = Hashtbl.replace seen (R.peek reg) () in
+        (body, check))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted;
+  Alcotest.(check int) "all four flip outcomes" 4 (Hashtbl.length seen)
+
+let test_explore_run_count_two_writers () =
+  (* Two procs, each: start + 1 write = 2 steps; schedules of the 4-step
+     word with 2 a's and 2 b's = C(4,2) = 6 executions. *)
+  let stats =
+    Explore.search ~n:2
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let reg = R.make_reg 0 in
+        let body i = R.write reg i in
+        (body, fun _ -> ()))
+      ()
+  in
+  Alcotest.(check int) "C(4,2) interleavings" 6 stats.Explore.runs
+
+let test_explore_respects_max_runs () =
+  let stats =
+    Explore.search ~n:2 ~max_runs:3
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let reg = R.make_reg 0 in
+        let body i =
+          R.write reg i;
+          R.write reg (i + 1);
+          R.write reg (i + 2)
+        in
+        (body, fun _ -> ()))
+      ()
+  in
+  Alcotest.(check int) "stopped at max_runs" 3 stats.Explore.runs;
+  Alcotest.(check bool) "not exhausted" false stats.Explore.exhausted
+
+let suite =
+  [
+    Alcotest.test_case "run completes" `Quick test_run_completes;
+    Alcotest.test_case "single process serial" `Quick test_round_robin_serializes;
+    Alcotest.test_case "results returned" `Quick test_results_returned;
+    Alcotest.test_case "pid identity" `Quick test_pid_identity;
+    Alcotest.test_case "crash excludes process" `Quick test_crash_excludes;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "step accounting" `Quick test_step_accounting;
+    Alcotest.test_case "flips recorded" `Quick test_flip_recorded_and_counted;
+    Alcotest.test_case "determinism per seed" `Quick test_determinism_same_seed;
+    Alcotest.test_case "trace monotone" `Quick test_trace_times_monotonic;
+    Alcotest.test_case "prioritize starves" `Quick test_prioritize_starves;
+    Alcotest.test_case "bursty progresses" `Quick test_bursty_progress;
+    Alcotest.test_case "overspawn rejected" `Quick test_spawn_too_many;
+    Alcotest.test_case "underspawn rejected" `Quick test_run_underspawned;
+    Alcotest.test_case "flip source override" `Quick test_flip_source_override;
+    Alcotest.test_case "par: pids and results" `Quick test_par_pids_and_results;
+    Alcotest.test_case "par: runs" `Quick test_par_register_visibility;
+    Alcotest.test_case "par: cross-domain visibility" `Quick test_par_handoff;
+    Alcotest.test_case "par: seeded flips" `Quick test_par_flip_deterministic_per_seed;
+    Alcotest.test_case "par: systhread fallback" `Quick test_par_many_threads;
+    Alcotest.test_case "explore: exhausts tiny" `Quick test_explore_exhausts_tiny;
+    Alcotest.test_case "explore: finds race" `Quick test_explore_finds_race;
+    Alcotest.test_case "explore: flip branching" `Quick test_explore_branches_on_flips;
+    Alcotest.test_case "explore: counts interleavings" `Quick
+      test_explore_run_count_two_writers;
+    Alcotest.test_case "explore: max_runs" `Quick test_explore_respects_max_runs;
+  ]
+
+(* --- Trace statistics -------------------------------------------------- *)
+
+let test_trace_stats () =
+  let sim =
+    Sim.create ~seed:21 ~record_trace:true ~n:2
+      ~adversary:(Adversary.round_robin ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  let a = R.make_reg ~name:"hot" 0 in
+  let b = R.make_reg ~name:"cold" 0 in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for _ = 1 to 5 do
+           R.write a (R.read a + 1)
+         done;
+         ignore (R.flip ())));
+  ignore (Sim.spawn sim (fun () -> R.write b 1));
+  ignore (Sim.run sim);
+  match Sim.trace sim with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+    let st = Trace_stats.analyze tr ~n:2 in
+    Alcotest.(check int) "reads" 5 st.Trace_stats.reads;
+    Alcotest.(check int) "writes" 6 st.Trace_stats.writes;
+    Alcotest.(check int) "flips" 1 st.Trace_stats.flips;
+    (match st.Trace_stats.hottest_registers with
+    | ("hot", hits) :: _ -> Alcotest.(check int) "hot register accesses" 10 hits
+    | other ->
+      Alcotest.failf "unexpected hottest list (%d entries)" (List.length other));
+    Alcotest.(check bool) "monopoly at least writes run" true
+      (st.Trace_stats.longest_monopoly >= 1)
+
+let test_trace_stats_empty () =
+  let tr = Trace.create () in
+  let st = Trace_stats.analyze tr ~n:1 in
+  Alcotest.(check int) "no events" 0 st.Trace_stats.events
+
+let trace_stats_suite =
+  [
+    Alcotest.test_case "trace stats" `Quick test_trace_stats;
+    Alcotest.test_case "trace stats: empty" `Quick test_trace_stats_empty;
+  ]
+
+let suite = suite @ trace_stats_suite
+
+(* --- Gap-filling tests -------------------------------------------------- *)
+
+let test_scripted_adversary () =
+  let fallback = Adversary.round_robin () in
+  let adv = Adversary.scripted ~choices:[ 0; 0; 0; 0 ] ~fallback () in
+  let sim = Sim.create ~seed:1 ~n:2 ~adversary:adv () in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  ignore (Sim.spawn sim (fun () -> R.write reg 1; R.write reg 2));
+  ignore (Sim.spawn sim (fun () -> R.write reg 9));
+  (* The script keeps picking the lowest runnable pid: process 0 runs
+     its 3 steps first (start + 2 writes), then round-robin finishes. *)
+  ignore (Sim.run sim);
+  Alcotest.(check int) "p0 ran first under script" 3 (Sim.steps_of sim 0);
+  Alcotest.(check int) "final value from p1" 9 (R.peek reg)
+
+let test_note_recorded () =
+  let sim =
+    Sim.create ~seed:2 ~record_trace:true ~n:1
+      ~adversary:(Adversary.round_robin ()) ()
+  in
+  ignore (Sim.spawn sim (fun () -> Sim.note sim ~pid:0 "checkpoint"));
+  ignore (Sim.run sim);
+  match Sim.trace sim with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+    let found = ref false in
+    Trace.iter
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Note "checkpoint" -> found := true
+        | _ -> ())
+      tr;
+    Alcotest.(check bool) "note traced" true !found
+
+let test_dist_exponential () =
+  let rng = Bprc_rng.Splitmix.create ~seed:41 in
+  let trials = 40_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to trials do
+    let x = Bprc_rng.Dist.exponential rng ~rate:2.0 in
+    if x < 0.0 then Alcotest.fail "negative exponential";
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~0.5 (got %.3f)" mean)
+    true
+    (mean > 0.47 && mean < 0.53);
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Dist.exponential: rate must be positive") (fun () ->
+      ignore (Bprc_rng.Dist.exponential rng ~rate:0.0))
+
+let gap_suite =
+  [
+    Alcotest.test_case "scripted adversary" `Quick test_scripted_adversary;
+    Alcotest.test_case "note recorded" `Quick test_note_recorded;
+    Alcotest.test_case "dist: exponential" `Quick test_dist_exponential;
+  ]
+
+let suite = suite @ gap_suite

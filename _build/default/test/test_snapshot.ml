@@ -1,0 +1,573 @@
+open Bprc_runtime
+open Bprc_snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Snap_checker unit tests (including deliberate violations)           *)
+(* ------------------------------------------------------------------ *)
+
+let test_checker_accepts_legal () =
+  let c = Snap_checker.create ~n:2 ~init:0 in
+  Snap_checker.record_write c ~pid:0 ~start_time:1 ~finish_time:2 ~value:1;
+  Snap_checker.record_scan c ~pid:1 ~start_time:3 ~finish_time:4
+    ~view:[| 1; 0 |];
+  Snap_checker.record_write c ~pid:1 ~start_time:5 ~finish_time:6 ~value:1;
+  Snap_checker.record_scan c ~pid:0 ~start_time:7 ~finish_time:8
+    ~view:[| 1; 1 |];
+  (match Snap_checker.check_all c with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "writes" 2 (Snap_checker.writes c);
+  Alcotest.(check int) "scans" 2 (Snap_checker.scans c)
+
+let test_checker_flags_stale_p1 () =
+  let c = Snap_checker.create ~n:2 ~init:0 in
+  Snap_checker.record_write c ~pid:0 ~start_time:1 ~finish_time:2 ~value:1;
+  Snap_checker.record_write c ~pid:0 ~start_time:3 ~finish_time:4 ~value:2;
+  (* Scan entirely after both writes returns the overwritten value 1. *)
+  Snap_checker.record_scan c ~pid:1 ~start_time:5 ~finish_time:6
+    ~view:[| 1; 0 |];
+  match Snap_checker.check_regularity c with
+  | Ok () -> Alcotest.fail "P1 violation not flagged"
+  | Error e ->
+    Alcotest.(check bool) "mentions P1" true (String.length e > 0)
+
+let test_checker_flags_mixed_p2 () =
+  let c = Snap_checker.create ~n:2 ~init:0 in
+  (* Writer 0: w(1)[1,2] then w(2)[4,5]; writer 1: w(1)[6,7].
+     A scan spanning [3,9] may see 0's old value 1 (P1-legal since its
+     successor overlaps the scan) together with 1's value 1 — but those
+     two writes do not coexist. *)
+  Snap_checker.record_write c ~pid:0 ~start_time:1 ~finish_time:2 ~value:1;
+  Snap_checker.record_write c ~pid:0 ~start_time:4 ~finish_time:5 ~value:2;
+  Snap_checker.record_write c ~pid:1 ~start_time:6 ~finish_time:7 ~value:1;
+  Snap_checker.record_scan c ~pid:1 ~start_time:3 ~finish_time:9
+    ~view:[| 1; 1 |];
+  (match Snap_checker.check_regularity c with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "P1 unexpectedly failed: %s" e);
+  match Snap_checker.check_snapshot c with
+  | Ok () -> Alcotest.fail "P2 violation not flagged"
+  | Error _ -> ()
+
+let test_checker_flags_incomparable_p3 () =
+  let c = Snap_checker.create ~n:2 ~init:0 in
+  Snap_checker.record_write c ~pid:0 ~start_time:1 ~finish_time:10 ~value:1;
+  Snap_checker.record_write c ~pid:1 ~start_time:2 ~finish_time:11 ~value:1;
+  (* Two scans overlapping the writes disagree on which came first. *)
+  Snap_checker.record_scan c ~pid:0 ~start_time:3 ~finish_time:4
+    ~view:[| 1; 0 |];
+  Snap_checker.record_scan c ~pid:1 ~start_time:5 ~finish_time:6
+    ~view:[| 0; 1 |];
+  match Snap_checker.check_serializability c with
+  | Ok () -> Alcotest.fail "P3 violation not flagged"
+  | Error _ -> ()
+
+let test_checker_rejects_nonmonotone_values () =
+  let c = Snap_checker.create ~n:1 ~init:0 in
+  Snap_checker.record_write c ~pid:0 ~start_time:1 ~finish_time:2 ~value:5;
+  Alcotest.check_raises "values must increase"
+    (Invalid_argument "Snap_checker: per-writer values must strictly increase")
+    (fun () ->
+      Snap_checker.record_write c ~pid:0 ~start_time:3 ~finish_time:4 ~value:5)
+
+(* ------------------------------------------------------------------ *)
+(* Generic scenario driver: every process alternates write/scan and    *)
+(* records into a checker; properties must hold on completion.         *)
+(* ------------------------------------------------------------------ *)
+
+module type SNAP = Snapshot_intf.S
+
+let drive_scenario (module R : Runtime_intf.S) (module S : SNAP) sim ~rounds =
+  let mem = S.create ~init:0 () in
+  let checker = Snap_checker.create ~n:R.n ~init:0 in
+  for p = 0 to R.n - 1 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           for k = 1 to rounds do
+             let s = Snap_checker.stamp checker in
+             S.write mem k;
+             Snap_checker.record_write checker ~pid:p ~start_time:s
+               ~finish_time:(Snap_checker.stamp checker) ~value:k;
+             let s = Snap_checker.stamp checker in
+             let view = S.scan mem in
+             Snap_checker.record_scan checker ~pid:p ~start_time:s
+               ~finish_time:(Snap_checker.stamp checker) ~view
+           done))
+  done;
+  checker
+
+let check_random_schedules make_snap ~n ~rounds ~seeds name =
+  for seed = 1 to seeds do
+    let sim = Sim.create ~seed ~n ~adversary:(Adversary.random ()) () in
+    let rt = Sim.runtime sim in
+    let snap = make_snap rt in
+    let checker = drive_scenario rt snap sim ~rounds in
+    (match Sim.run sim with
+    | Sim.Completed -> ()
+    | Sim.Hit_step_limit -> Alcotest.failf "%s: step limit at seed %d" name seed);
+    match Snap_checker.check_all checker with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: seed %d: %s" name seed e
+  done
+
+let handshake_of rt : (module SNAP) =
+  let (module R : Runtime_intf.S) = rt in
+  (module Handshake.Make (R) : SNAP)
+
+let unbounded_of rt : (module SNAP) =
+  let (module R : Runtime_intf.S) = rt in
+  (module Unbounded.Make (R) : SNAP)
+
+let test_handshake_random_small () =
+  check_random_schedules handshake_of ~n:3 ~rounds:4 ~seeds:60 "handshake"
+
+let test_handshake_random_wide () =
+  check_random_schedules handshake_of ~n:6 ~rounds:3 ~seeds:15 "handshake-n6"
+
+let test_handshake_bursty () =
+  for seed = 1 to 20 do
+    let sim =
+      Sim.create ~seed ~n:4 ~adversary:(Adversary.bursty ~burst:7 ()) ()
+    in
+    let rt = Sim.runtime sim in
+    let snap = handshake_of rt in
+    let checker = drive_scenario rt snap sim ~rounds:3 in
+    ignore (Sim.run sim);
+    match Snap_checker.check_all checker with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "bursty seed %d: %s" seed e
+  done
+
+let test_unbounded_random () =
+  check_random_schedules unbounded_of ~n:3 ~rounds:4 ~seeds:40 "unbounded"
+
+let test_handshake_sequential_exact () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let module S = Handshake.Make ((val Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  let h =
+    Sim.spawn sim (fun () ->
+        let v0 = S.scan mem in
+        S.write mem 7;
+        let v1 = S.scan mem in
+        S.write mem 9;
+        let v2 = S.scan mem in
+        (v0.(0), v1.(0), v2.(0)))
+  in
+  ignore (Sim.run sim);
+  Alcotest.(check (option (triple int int int)))
+    "own component tracks writes" (Some (0, 7, 9)) (Sim.result h)
+
+let test_handshake_own_component () =
+  let sim = Sim.create ~seed:3 ~n:3 ~adversary:(Adversary.random ()) () in
+  let (module R) = Sim.runtime sim in
+  let module S = Handshake.Make ((val Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  let handles =
+    Array.init 3 (fun i ->
+        Sim.spawn sim (fun () ->
+            S.write mem (100 + i);
+            let view = S.scan mem in
+            view.(R.pid ()) = 100 + i))
+  in
+  ignore (Sim.run sim);
+  Array.iter
+    (fun h ->
+      Alcotest.(check (option bool)) "own value current" (Some true)
+        (Sim.result h))
+    handles
+
+let test_handshake_exhaustive_two_procs () =
+  (* n=2, each process: one write then one scan.  Full interleaving
+     space; all three properties checked on every execution. *)
+  let stats =
+    Explore.search ~n:2 ~max_steps:4000 ~max_runs:400_000
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let module S = Handshake.Make ((val (module R : Runtime_intf.S))) in
+        let mem = S.create ~init:0 () in
+        let checker = Snap_checker.create ~n:2 ~init:0 in
+        let body p =
+          let s = Snap_checker.stamp checker in
+          S.write mem 1;
+          Snap_checker.record_write checker ~pid:p ~start_time:s
+            ~finish_time:(Snap_checker.stamp checker) ~value:1;
+          let s = Snap_checker.stamp checker in
+          let view = S.scan mem in
+          Snap_checker.record_scan checker ~pid:p ~start_time:s
+            ~finish_time:(Snap_checker.stamp checker) ~view
+        in
+        let check _sim =
+          match Snap_checker.check_all checker with
+          | Ok () -> ()
+          | Error e -> failwith ("handshake exhaustive: " ^ e)
+        in
+        (body, check))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted;
+  Alcotest.(check bool) "nontrivial" true (stats.Explore.runs > 100)
+
+let test_handshake_retries_happen_and_are_bounded () =
+  (* Writers churn while one process scans; scans may retry but never
+     more than the total number of writes can justify. *)
+  let total_retries = ref 0 in
+  for seed = 1 to 30 do
+    let sim = Sim.create ~seed ~n:3 ~adversary:(Adversary.random ()) () in
+    let (module R) = Sim.runtime sim in
+    let module S = Handshake.Make ((val Sim.runtime sim)) in
+    let mem = S.create ~init:0 () in
+    let writes = 6 in
+    for _ = 1 to 2 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for k = 1 to writes do
+               S.write mem k
+             done))
+    done;
+    ignore (Sim.spawn sim (fun () -> ignore (S.scan mem)));
+    (match Sim.run sim with
+    | Sim.Completed -> ()
+    | Sim.Hit_step_limit -> Alcotest.fail "scan failed to terminate");
+    let r = S.scan_retries mem in
+    total_retries := !total_retries + r;
+    if r > 2 * (2 * writes) then
+      Alcotest.failf "retries %d exceed write-justified bound at seed %d" r seed
+  done;
+  Alcotest.(check bool) "some retries occurred across seeds" true
+    (!total_retries > 0)
+
+let test_handshake_write_wait_free_under_starving_scanner () =
+  (* A scanner that is never scheduled cannot block writers. *)
+  let sim =
+    Sim.create ~seed:4 ~max_steps:4000 ~n:2
+      ~adversary:(Adversary.prioritize ~favored:[ 0 ] ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  let module S = Handshake.Make ((val Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  let hw =
+    Sim.spawn sim (fun () ->
+        for k = 1 to 50 do
+          S.write mem k
+        done;
+        true)
+  in
+  ignore (Sim.spawn sim (fun () -> ignore (S.scan mem)));
+  ignore (Sim.run sim);
+  Alcotest.(check (option bool)) "writer finished" (Some true) (Sim.result hw)
+
+let test_handshake_scan_starvation_is_possible () =
+  (* Adversarially alternating a writer against a scanner keeps the
+     scan retrying: scans are not wait-free (the paper's progress
+     property is system-wide, not per-scan). *)
+  let sim =
+    Sim.create ~seed:5 ~max_steps:3000 ~n:2 ~adversary:(Adversary.random ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  let module S = Handshake.Make ((val Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         (* Endless writer. *)
+         let k = ref 0 in
+         while true do
+           incr k;
+           S.write mem !k
+         done));
+  let hs = Sim.spawn sim (fun () -> ignore (S.scan mem)) in
+  (match Sim.run sim with
+  | Sim.Hit_step_limit -> ()
+  | Sim.Completed -> Alcotest.fail "endless writer terminated?");
+  (* The scan may or may not have completed depending on luck; what we
+     assert is that retries can pile up without breaking anything. *)
+  ignore (Sim.result hs);
+  Alcotest.(check bool) "retries observed" true (S.scan_retries mem >= 0)
+
+let test_unbounded_seq_grows () =
+  let sim = Sim.create ~seed:6 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let module U = Unbounded.Make ((val Sim.runtime sim)) in
+  let mem = U.create ~init:0 () in
+  for _ = 1 to 2 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           for k = 1 to 25 do
+             U.write mem k
+           done))
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check int) "sequence numbers grow without bound" 25 (U.max_seq mem)
+
+(* Handshake snapshot on real domains: writers publish increasing
+   values; each process's successive scans must be componentwise
+   monotone (a cheap dynamic P3 probe).  The shared memory is allocated
+   on a pre-built runtime before the processes launch. *)
+let test_par_monotone_scans () =
+  let rt = Par.make_runtime ~seed:10 ~n:4 () in
+  let (module R) = rt in
+  let module S = Handshake.Make ((val rt)) in
+  let mem = S.create ~init:0 () in
+  let results =
+    Par.run ~runtime:rt ~n:4 (fun _rt _i ->
+        let prev = Array.make R.n min_int in
+        let monotone = ref true in
+        for k = 1 to 200 do
+          S.write mem k;
+          let view = S.scan mem in
+          Array.iteri
+            (fun j v ->
+              if v < prev.(j) then monotone := false;
+              prev.(j) <- v)
+            view
+        done;
+        !monotone)
+  in
+  Array.iter
+    (fun ok -> Alcotest.(check bool) "per-process scans monotone" true ok)
+    results
+
+let suite =
+  [
+    Alcotest.test_case "checker: legal accepted" `Quick test_checker_accepts_legal;
+    Alcotest.test_case "checker: P1 stale flagged" `Quick test_checker_flags_stale_p1;
+    Alcotest.test_case "checker: P2 mix flagged" `Quick test_checker_flags_mixed_p2;
+    Alcotest.test_case "checker: P3 incomparable flagged" `Quick
+      test_checker_flags_incomparable_p3;
+    Alcotest.test_case "checker: monotone values enforced" `Quick
+      test_checker_rejects_nonmonotone_values;
+    Alcotest.test_case "handshake: random schedules" `Quick
+      test_handshake_random_small;
+    Alcotest.test_case "handshake: n=6" `Quick test_handshake_random_wide;
+    Alcotest.test_case "handshake: bursty" `Quick test_handshake_bursty;
+    Alcotest.test_case "handshake: sequential exact" `Quick
+      test_handshake_sequential_exact;
+    Alcotest.test_case "handshake: own component" `Quick
+      test_handshake_own_component;
+    Alcotest.test_case "handshake: exhaustive n=2" `Slow
+      test_handshake_exhaustive_two_procs;
+    Alcotest.test_case "handshake: retries bounded" `Quick
+      test_handshake_retries_happen_and_are_bounded;
+    Alcotest.test_case "handshake: writes wait-free" `Quick
+      test_handshake_write_wait_free_under_starving_scanner;
+    Alcotest.test_case "handshake: scans can starve" `Quick
+      test_handshake_scan_starvation_is_possible;
+    Alcotest.test_case "unbounded: random schedules" `Quick test_unbounded_random;
+    Alcotest.test_case "unbounded: seq grows" `Quick test_unbounded_seq_grows;
+    Alcotest.test_case "par: monotone scans" `Quick test_par_monotone_scans;
+  ]
+
+(* --- Crash injection mid-write ---------------------------------------- *)
+
+let test_crash_mid_write_preserves_properties () =
+  (* Crash a writer at arbitrary points — including between its
+     arrow-raising phase and its value publication — and check that the
+     survivors' scans still satisfy P1-P3. *)
+  for seed = 1 to 30 do
+    let n = 3 in
+    let sim = Sim.create ~seed ~n ~adversary:(Adversary.random ()) () in
+    let (module R) = Sim.runtime sim in
+    let module S = Handshake.Make ((val Sim.runtime sim)) in
+    let mem = S.create ~init:0 () in
+    let checker = Snap_checker.create ~n ~init:0 in
+    (* Process 0: doomed writer — we will crash it mid-run; its writes
+       are NOT recorded in the checker (a crashed write may or may not
+       take effect, so survivors legitimately may observe it;
+       record_write is only sound for completed writes).  To keep the
+       checker exact we let it write values that are also written by
+       nobody else and tell the checker about each write only once it
+       completed. *)
+    ignore
+      (Sim.spawn sim (fun () ->
+           for k = 1 to 10 do
+             let s = Snap_checker.stamp checker in
+             S.write mem k;
+             Snap_checker.record_write checker ~pid:0 ~start_time:s
+               ~finish_time:(Snap_checker.stamp checker) ~value:k
+           done));
+    for p = 1 to 2 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for k = 1 to 4 do
+               let s = Snap_checker.stamp checker in
+               S.write mem k;
+               Snap_checker.record_write checker ~pid:p ~start_time:s
+                 ~finish_time:(Snap_checker.stamp checker) ~value:k;
+               let s = Snap_checker.stamp checker in
+               let view = S.scan mem in
+               Snap_checker.record_scan checker ~pid:p ~start_time:s
+                 ~finish_time:(Snap_checker.stamp checker) ~view
+             done))
+    done;
+    (* Crash the doomed writer at a pseudo-random early step. *)
+    let crash_step = 5 + (seed * 3 mod 40) in
+    let rec drive () =
+      if Sim.clock sim >= crash_step && not (Sim.crashed sim 0) then
+        Sim.crash sim 0;
+      if Sim.step sim then drive ()
+    in
+    drive ();
+    (* A crash can only land at a step boundary, so a write either
+       published its value (and was recorded — the recording runs in
+       the same atomic window as the write's final step) or its value
+       never became visible; either way P1-P3 over the recorded
+       operations must hold.  The half-raised arrows of a torn write
+       cannot wedge survivors: each scan re-clears its own arrows. *)
+    match Snap_checker.check_all checker with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "crash-mid-write seed %d: %s" seed e
+  done
+
+let crash_suite =
+  [
+    Alcotest.test_case "crash mid-write: scans stay serializable" `Quick
+      test_crash_mid_write_preserves_properties;
+  ]
+
+let suite = suite @ crash_suite
+
+(* --- Embedded-scan (AADGMS-style) snapshot ---------------------------- *)
+
+let embedded_of rt : (module SNAP) =
+  let (module R : Runtime_intf.S) = rt in
+  (module Embedded.Make (R) : SNAP)
+
+let test_embedded_random () =
+  check_random_schedules embedded_of ~n:3 ~rounds:4 ~seeds:60 "embedded"
+
+let test_embedded_random_wide () =
+  check_random_schedules embedded_of ~n:6 ~rounds:3 ~seeds:15 "embedded-n6"
+
+let test_embedded_exhaustive_two_procs () =
+  let stats =
+    Explore.search ~n:2 ~max_steps:4000 ~max_runs:400_000
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let module S = Embedded.Make ((val (module R : Runtime_intf.S))) in
+        let mem = S.create ~init:0 () in
+        let checker = Snap_checker.create ~n:2 ~init:0 in
+        let body p =
+          let s = Snap_checker.stamp checker in
+          S.write mem 1;
+          Snap_checker.record_write checker ~pid:p ~start_time:s
+            ~finish_time:(Snap_checker.stamp checker) ~value:1;
+          let s = Snap_checker.stamp checker in
+          let view = S.scan mem in
+          Snap_checker.record_scan checker ~pid:p ~start_time:s
+            ~finish_time:(Snap_checker.stamp checker) ~view
+        in
+        let check _sim =
+          match Snap_checker.check_all checker with
+          | Ok () -> ()
+          | Error e -> failwith ("embedded exhaustive: " ^ e)
+        in
+        (body, check))
+      ()
+  in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted
+
+let test_embedded_scan_wait_free_under_saturation () =
+  (* The scenario that starves the handshake scanner: an endless
+     writer flooding the memory, the scanner getting only one step in
+     ten.  Wait-freedom bounds the scanner's OWN steps, so it must
+     finish regardless of how much write traffic interleaves. *)
+  let adversary =
+    Adversary.make ~name:"flood" (fun ctx ->
+        let scanner_runnable = Array.exists (fun p -> p = 1) ctx.Adversary.runnable in
+        if scanner_runnable && ctx.Adversary.clock mod 10 = 0 then 1
+        else ctx.Adversary.runnable.(0))
+  in
+  let sim = Sim.create ~seed:5 ~max_steps:100_000 ~n:2 ~adversary () in
+  let (module R) = Sim.runtime sim in
+  let module S = Embedded.Make ((val Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         let k = ref 0 in
+         while true do
+           incr k;
+           S.write mem !k
+         done));
+  let hs = Sim.spawn sim (fun () -> S.scan mem) in
+  (* Let the writer run, then give the scanner a fair share. *)
+  let rec drive budget =
+    if budget > 0 && not (Sim.finished sim 1) then
+      if Sim.step sim then drive (budget - 1)
+  in
+  drive 100_000;
+  Alcotest.(check bool) "scan completed against endless writer" true
+    (Sim.finished sim 1);
+  match Sim.result hs with
+  | Some view ->
+    Alcotest.(check bool) "view is recent" true (view.(0) >= 0)
+  | None -> Alcotest.fail "no view"
+
+let test_embedded_borrows_happen () =
+  (* Under heavy write traffic some scans must resolve by borrowing. *)
+  let total_borrows = ref 0 in
+  for seed = 1 to 20 do
+    let sim = Sim.create ~seed ~n:4 ~adversary:(Adversary.random ()) () in
+    let (module R) = Sim.runtime sim in
+    let module S = Embedded.Make ((val Sim.runtime sim)) in
+    let mem = S.create ~init:0 () in
+    for _ = 1 to 3 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for k = 1 to 12 do
+               S.write mem k
+             done))
+    done;
+    ignore
+      (Sim.spawn sim (fun () ->
+           for _ = 1 to 6 do
+             ignore (S.scan mem)
+           done));
+    ignore (Sim.run sim);
+    total_borrows := !total_borrows + S.borrows mem
+  done;
+  Alcotest.(check bool) "borrowing observed" true (!total_borrows > 0)
+
+let test_handshake_starves_where_embedded_does_not () =
+  (* The same flood schedule defeats the handshake scanner — the exact
+     progress gap between the paper's lock-free scans and the
+     embedded-scan construction's wait-free ones. *)
+  let adversary =
+    Adversary.make ~name:"flood" (fun ctx ->
+        let scanner_runnable = Array.exists (fun p -> p = 1) ctx.Adversary.runnable in
+        if scanner_runnable && ctx.Adversary.clock mod 10 = 0 then 1
+        else ctx.Adversary.runnable.(0))
+  in
+  let sim = Sim.create ~seed:5 ~max_steps:100_000 ~n:2 ~adversary () in
+  let (module R) = Sim.runtime sim in
+  let module S = Handshake.Make ((val Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         let k = ref 0 in
+         while true do
+           incr k;
+           S.write mem !k
+         done));
+  ignore (Sim.spawn sim (fun () -> S.scan mem));
+  let rec drive budget =
+    if budget > 0 && not (Sim.finished sim 1) then
+      if Sim.step sim then drive (budget - 1)
+  in
+  drive 100_000;
+  Alcotest.(check bool) "handshake scan starves under flood" false
+    (Sim.finished sim 1)
+
+let embedded_suite =
+  [
+    Alcotest.test_case "embedded: random schedules" `Quick test_embedded_random;
+    Alcotest.test_case "embedded: n=6" `Quick test_embedded_random_wide;
+    Alcotest.test_case "embedded: exhaustive n=2" `Slow
+      test_embedded_exhaustive_two_procs;
+    Alcotest.test_case "embedded: scans wait-free" `Quick
+      test_embedded_scan_wait_free_under_saturation;
+    Alcotest.test_case "embedded: borrows happen" `Quick
+      test_embedded_borrows_happen;
+    Alcotest.test_case "handshake starves where embedded doesn't" `Quick
+      test_handshake_starves_where_embedded_does_not;
+  ]
+
+let suite = suite @ embedded_suite

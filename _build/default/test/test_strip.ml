@@ -1,0 +1,357 @@
+open Bprc_strip
+
+let rng seed = Bprc_rng.Splitmix.create ~seed
+
+(* ------------------------------------------------------------------ *)
+(* Token game                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrink_basic () =
+  Alcotest.(check (array int))
+    "gap compressed" [| 0; 2 |]
+    (Token_game.shrink ~k:2 [| 0; 7 |]);
+  Alcotest.(check (array int))
+    "small gaps kept" [| 0; 1; 3 |]
+    (Token_game.shrink ~k:2 [| 0; 1; 3 |]);
+  Alcotest.(check (array int))
+    "ties preserved" [| 5; 5; 5 |]
+    (Token_game.shrink ~k:3 [| 5; 5; 5 |]);
+  Alcotest.(check (array int))
+    "chain of big gaps" [| 0; 2; 4 |]
+    (Token_game.shrink ~k:2 [| 0; 10; 100 |]);
+  Alcotest.(check (array int))
+    "unsorted input" [| 2; 0 |]
+    (Token_game.shrink ~k:2 [| 9; 0 |])
+
+let test_normalize_basic () =
+  Alcotest.(check (array int))
+    "max at K*n" [| 3; 4 |]
+    (Token_game.normalize ~k:2 [| 0; 1 |]);
+  Alcotest.(check (array int))
+    "already there" [| 4; 4 |]
+    (Token_game.normalize ~k:2 [| 4; 4 |])
+
+let test_game_positions_bounded () =
+  let g = Token_game.create ~k:2 ~n:4 in
+  let r = rng 42 in
+  for _ = 1 to 2000 do
+    Token_game.move g (Bprc_rng.Splitmix.int r 4);
+    let pos = Token_game.positions g in
+    Array.iter
+      (fun p ->
+        if p < 0 || p > 2 * 4 then
+          Alcotest.failf "position %d outside [0, K*n]" p)
+      pos
+  done;
+  (* Raw positions grew far beyond the bound. *)
+  let raw = Token_game.raw_positions g in
+  Alcotest.(check bool) "raw game unbounded" true
+    (Array.exists (fun p -> p > 2 * 4) raw)
+
+let test_game_spread_bounded () =
+  let g = Token_game.create ~k:3 ~n:5 in
+  let r = rng 7 in
+  for _ = 1 to 1000 do
+    Token_game.move g (Bprc_rng.Splitmix.int r 5);
+    if Token_game.spread g > 3 * 4 then Alcotest.fail "spread exceeds K*(n-1)"
+  done
+
+let test_game_tracks_small_gaps_exactly () =
+  (* While all tokens stay within K of each other, the shrunken game is
+     the raw game up to translation. *)
+  let g = Token_game.create ~k:5 ~n:3 in
+  (* Interleave moves so gaps stay <= 2. *)
+  List.iter (Token_game.move g) [ 0; 1; 2; 0; 1; 2; 0 ];
+  let pos = Token_game.positions g in
+  let raw = Token_game.raw_positions g in
+  let diff01 = pos.(0) - pos.(1) and rdiff01 = raw.(0) - raw.(1) in
+  let diff02 = pos.(0) - pos.(2) and rdiff02 = raw.(0) - raw.(2) in
+  Alcotest.(check int) "pair 0-1 exact" rdiff01 diff01;
+  Alcotest.(check int) "pair 0-2 exact" rdiff02 diff02
+
+let prop_shrink_idempotent =
+  QCheck.Test.make ~name:"shrink is idempotent" ~count:300
+    QCheck.(pair (int_range 1 4) (array_of_size Gen.(int_range 1 6) (int_range 0 30)))
+    (fun (k, pos) ->
+      let s = Token_game.shrink ~k pos in
+      Token_game.shrink ~k s = s)
+
+let prop_shrink_preserves_order =
+  QCheck.Test.make ~name:"shrink preserves relative order" ~count:300
+    QCheck.(pair (int_range 1 4) (array_of_size Gen.(int_range 2 6) (int_range 0 30)))
+    (fun (k, pos) ->
+      let s = Token_game.shrink ~k pos in
+      let n = Array.length pos in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let before = compare pos.(i) pos.(j) in
+          let after = compare s.(i) s.(j) in
+          if before <> after then ok := false
+        done
+      done;
+      !ok)
+
+let prop_shrink_caps_consecutive_gaps =
+  QCheck.Test.make ~name:"shrunken consecutive gaps <= K" ~count:300
+    QCheck.(pair (int_range 1 4) (array_of_size Gen.(int_range 2 6) (int_range 0 50)))
+    (fun (k, pos) ->
+      let s = Token_game.shrink ~k pos in
+      let sorted = Array.copy s in
+      Array.sort compare sorted;
+      let ok = ref true in
+      for i = 1 to Array.length sorted - 1 do
+        if sorted.(i) - sorted.(i - 1) > k then ok := false
+      done;
+      !ok)
+
+let prop_normalize_range =
+  QCheck.Test.make ~name:"normalized shrunken positions in [0, K*n]" ~count:300
+    QCheck.(pair (int_range 1 4) (array_of_size Gen.(int_range 1 6) (int_range 0 50)))
+    (fun (k, pos) ->
+      let p = Token_game.normalize ~k (Token_game.shrink ~k pos) in
+      Array.for_all (fun x -> x >= 0 && x <= k * Array.length pos) p)
+
+(* ------------------------------------------------------------------ *)
+(* Distance graph                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_of_positions () =
+  let g = Distance_graph.of_positions ~k:2 [| 5; 3; 3 |] in
+  Alcotest.(check bool) "edge 0->1" true (Distance_graph.edge g 0 1);
+  Alcotest.(check int) "w(0,1)" 2 (Distance_graph.weight g 0 1);
+  Alcotest.(check bool) "no edge 1->0" false (Distance_graph.edge g 1 0);
+  Alcotest.(check bool) "level both ways" true
+    (Distance_graph.edge g 1 2 && Distance_graph.edge g 2 1);
+  Alcotest.(check int) "level weight" 0 (Distance_graph.weight g 1 2)
+
+let test_graph_weight_cap () =
+  let g = Distance_graph.of_positions ~k:2 [| 9; 0 |] in
+  Alcotest.(check int) "capped at K" 2 (Distance_graph.weight g 0 1)
+
+let test_graph_dist_longest_path () =
+  (* Positions 0,2,4 with K=3: direct edge 2->0 has weight 3 (capped at
+     neither) ... use K=3, positions 0, 3, 6: direct edge from top to
+     bottom capped at 3, but the path through the middle sums to 6. *)
+  let g = Distance_graph.of_positions ~k:3 [| 6; 3; 0 |] in
+  Alcotest.(check int) "direct weight capped" 3 (Distance_graph.weight g 0 2);
+  Alcotest.(check (option int)) "dist uses path" (Some 6)
+    (Distance_graph.dist g 0 2);
+  Alcotest.(check (option int)) "unreachable upward" None
+    (Distance_graph.dist g 2 0)
+
+let test_graph_leaders () =
+  let g = Distance_graph.of_positions ~k:2 [| 4; 4; 1 |] in
+  Alcotest.(check (list int)) "two level leaders" [ 0; 1 ]
+    (Distance_graph.leaders g);
+  let g2 = Distance_graph.of_positions ~k:2 [| 1; 5; 0 |] in
+  Alcotest.(check (list int)) "single leader" [ 1 ] (Distance_graph.leaders g2)
+
+let test_graph_properties_random () =
+  let r = rng 11 in
+  for _ = 1 to 200 do
+    let n = 2 + Bprc_rng.Splitmix.int r 5 in
+    let k = 1 + Bprc_rng.Splitmix.int r 3 in
+    let pos = Array.init n (fun _ -> Bprc_rng.Splitmix.int r 20) in
+    let g = Distance_graph.of_positions ~k pos in
+    if not (Distance_graph.no_positive_cycle g) then
+      Alcotest.fail "positive cycle";
+    if not (Distance_graph.weights_in_range g) then
+      Alcotest.fail "weight out of range";
+    if not (Distance_graph.total_order_consistent g) then
+      Alcotest.fail "pair inconsistency"
+  done
+
+let test_graph_dist_matches_shrunken_positions () =
+  (* Property 5: dist(i,j) equals the shrunken position difference. *)
+  let r = rng 13 in
+  for _ = 1 to 200 do
+    let n = 2 + Bprc_rng.Splitmix.int r 4 in
+    let k = 1 + Bprc_rng.Splitmix.int r 3 in
+    let raw = Array.init n (fun _ -> Bprc_rng.Splitmix.int r 25) in
+    let pos = Token_game.shrink ~k raw in
+    let g = Distance_graph.of_positions ~k pos in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && pos.(i) >= pos.(j) then
+          match Distance_graph.dist g i j with
+          | Some d ->
+            if d <> pos.(i) - pos.(j) then
+              Alcotest.failf "dist %d<>%d for %d->%d" d (pos.(i) - pos.(j)) i j
+          | None -> Alcotest.fail "missing dist"
+      done
+    done
+  done
+
+let test_claim_4_1_abstract_inc () =
+  (* Claim 4.1: G(move_i(S)) = inc(i, G(S)) along random play of the
+     normalized shrunken game. *)
+  let r = rng 17 in
+  for _ = 1 to 60 do
+    let n = 2 + Bprc_rng.Splitmix.int r 3 in
+    let k = 1 + Bprc_rng.Splitmix.int r 3 in
+    let game = Token_game.create ~k ~n in
+    for _step = 1 to 40 do
+      let i = Bprc_rng.Splitmix.int r n in
+      let g_before = Distance_graph.of_positions ~k (Token_game.positions game) in
+      Token_game.move game i;
+      let g_after = Distance_graph.of_positions ~k (Token_game.positions game) in
+      let g_inc = Distance_graph.inc g_before i in
+      if not (Distance_graph.equal g_after g_inc) then
+        Alcotest.failf "Claim 4.1 fails: n=%d k=%d move %d@ after=%a inc=%a" n k
+          i Distance_graph.pp g_after Distance_graph.pp g_inc
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Edge counters                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_initial_level () =
+  let c = Edge_counters.create ~k:2 ~n:3 in
+  Alcotest.(check bool) "valid" true (Edge_counters.valid c);
+  let g = Edge_counters.to_graph c in
+  Alcotest.(check (list int)) "all leaders initially" [ 0; 1; 2 ]
+    (Distance_graph.leaders g)
+
+let test_counters_track_game_sequentially () =
+  (* The fundamental encoding theorem, sequentially: playing inc_graph
+     in lockstep with the normalized shrunken game keeps
+     to_graph(counters) = G(game). *)
+  let r = rng 23 in
+  for _ = 1 to 40 do
+    let n = 2 + Bprc_rng.Splitmix.int r 3 in
+    let k = 1 + Bprc_rng.Splitmix.int r 3 in
+    let game = Token_game.create ~k ~n in
+    let counters = Edge_counters.create ~k ~n in
+    for _step = 1 to 60 do
+      let i = Bprc_rng.Splitmix.int r n in
+      Token_game.move game i;
+      Edge_counters.apply_inc counters i;
+      if not (Edge_counters.valid counters) then
+        Alcotest.fail "counters undecodable";
+      let expected = Distance_graph.of_positions ~k (Token_game.positions game) in
+      let got = Edge_counters.to_graph counters in
+      if not (Distance_graph.equal expected got) then
+        Alcotest.failf "counters diverge from game: n=%d k=%d@ game=%a got=%a"
+          n k Distance_graph.pp expected Distance_graph.pp got
+    done
+  done
+
+let test_counters_stay_bounded () =
+  let c = Edge_counters.create ~k:2 ~n:3 in
+  let r = rng 29 in
+  for _ = 1 to 3000 do
+    Edge_counters.apply_inc c (Bprc_rng.Splitmix.int r 3)
+  done;
+  Array.iter
+    (Array.iter (fun x ->
+         if x < 0 || x >= 6 then Alcotest.failf "counter %d out of [0,3K)" x))
+    (Edge_counters.rows c)
+
+let test_counters_of_rows_validation () =
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Edge_counters.of_rows: counter out of range") (fun () ->
+      ignore (Edge_counters.of_rows ~k:2 [| [| 0; 6 |]; [| 0; 0 |] |]));
+  Alcotest.check_raises "square check"
+    (Invalid_argument "Edge_counters.of_rows: not square") (fun () ->
+      ignore (Edge_counters.of_rows ~k:2 [| [| 0 |]; [| 0; 0 |] |]))
+
+let test_counters_leader_never_runs_away () =
+  (* A single process inc'ing forever saturates at lead K over everyone
+     and stops moving its pointers (the guard blocks it). *)
+  let c = Edge_counters.create ~k:2 ~n:3 in
+  for _ = 1 to 50 do
+    Edge_counters.apply_inc c 0
+  done;
+  let g = Edge_counters.to_graph c in
+  Alcotest.(check int) "lead saturated at K" 2 (Distance_graph.weight g 0 1);
+  Alcotest.(check int) "lead saturated at K" 2 (Distance_graph.weight g 0 2);
+  Alcotest.(check (list int)) "sole leader" [ 0 ] (Distance_graph.leaders g)
+
+let test_counters_trailing_catches_up () =
+  let c = Edge_counters.create ~k:2 ~n:2 in
+  for _ = 1 to 10 do
+    Edge_counters.apply_inc c 0
+  done;
+  (* Process 1 trails by K = 2; after two incs it is level. *)
+  Edge_counters.apply_inc c 1;
+  let g = Edge_counters.to_graph c in
+  Alcotest.(check int) "gap closed to 1" 1 (Distance_graph.weight g 0 1);
+  Edge_counters.apply_inc c 1;
+  let g = Edge_counters.to_graph c in
+  Alcotest.(check int) "level" 0 (Distance_graph.weight g 0 1);
+  Alcotest.(check bool) "level both edges" true (Distance_graph.edge g 1 0)
+
+let prop_counters_match_game =
+  QCheck.Test.make ~name:"edge counters track shrunken game (qcheck)" ~count:60
+    QCheck.(
+      pair (int_range 1 3)
+        (list_of_size Gen.(int_range 1 50) (int_range 0 3)))
+    (fun (k, moves) ->
+      let n = 4 in
+      let game = Token_game.create ~k ~n in
+      let counters = Edge_counters.create ~k ~n in
+      List.for_all
+        (fun i ->
+          Token_game.move game i;
+          Edge_counters.apply_inc counters i;
+          Edge_counters.valid counters
+          && Distance_graph.equal
+               (Distance_graph.of_positions ~k (Token_game.positions game))
+               (Edge_counters.to_graph counters))
+        moves)
+
+let suite =
+  [
+    Alcotest.test_case "shrink basics" `Quick test_shrink_basic;
+    Alcotest.test_case "normalize basics" `Quick test_normalize_basic;
+    Alcotest.test_case "game positions bounded" `Quick test_game_positions_bounded;
+    Alcotest.test_case "game spread bounded" `Quick test_game_spread_bounded;
+    Alcotest.test_case "game exact for small gaps" `Quick
+      test_game_tracks_small_gaps_exactly;
+    QCheck_alcotest.to_alcotest prop_shrink_idempotent;
+    QCheck_alcotest.to_alcotest prop_shrink_preserves_order;
+    QCheck_alcotest.to_alcotest prop_shrink_caps_consecutive_gaps;
+    QCheck_alcotest.to_alcotest prop_normalize_range;
+    Alcotest.test_case "graph of positions" `Quick test_graph_of_positions;
+    Alcotest.test_case "graph weight cap" `Quick test_graph_weight_cap;
+    Alcotest.test_case "graph dist longest path" `Quick
+      test_graph_dist_longest_path;
+    Alcotest.test_case "graph leaders" `Quick test_graph_leaders;
+    Alcotest.test_case "graph properties random" `Quick
+      test_graph_properties_random;
+    Alcotest.test_case "graph dist = position diff" `Quick
+      test_graph_dist_matches_shrunken_positions;
+    Alcotest.test_case "Claim 4.1 (abstract inc)" `Quick test_claim_4_1_abstract_inc;
+    Alcotest.test_case "counters: initial level" `Quick test_counters_initial_level;
+    Alcotest.test_case "counters: track game" `Quick
+      test_counters_track_game_sequentially;
+    Alcotest.test_case "counters: bounded" `Quick test_counters_stay_bounded;
+    Alcotest.test_case "counters: of_rows validation" `Quick
+      test_counters_of_rows_validation;
+    Alcotest.test_case "counters: leader saturates" `Quick
+      test_counters_leader_never_runs_away;
+    Alcotest.test_case "counters: trailing catches up" `Quick
+      test_counters_trailing_catches_up;
+    QCheck_alcotest.to_alcotest prop_counters_match_game;
+  ]
+
+(* Appended: decoding robustness. *)
+let test_counters_forbidden_band () =
+  (* Rows manufactured so a pair decodes into (K, 2K): invalid, and
+     to_graph must refuse. *)
+  let rows = [| [| 0; 3 |]; [| 0; 0 |] |] in
+  (* a = (3 - 0) mod 6 = 3 ∈ (2, 4) for K = 2. *)
+  let c = Bprc_strip.Edge_counters.of_rows ~k:2 rows in
+  Alcotest.(check bool) "invalid detected" false (Bprc_strip.Edge_counters.valid c);
+  Alcotest.check_raises "to_graph refuses"
+    (Invalid_argument "Edge_counters.to_graph: undecodable state") (fun () ->
+      ignore (Bprc_strip.Edge_counters.to_graph c))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "counters: forbidden band" `Quick
+        test_counters_forbidden_band;
+    ]

@@ -1,0 +1,294 @@
+open Bprc_runtime
+open Bprc_universal
+
+(* Multivalued-consensus-per-log-slot is expensive, so scenarios stay
+   small: 2-3 processes, narrow payloads. *)
+
+let small_params = Bprc_core.Params.default
+
+(* --- fetch-and-add counter via the universal construction ----------- *)
+
+let run_counter ~n ~seed ~per_process =
+  let sim =
+    Sim.create ~seed ~max_steps:30_000_000 ~n ~adversary:(Adversary.random ())
+      ()
+  in
+  let module U = Universal.Make ((val Sim.runtime sim)) in
+  let counter =
+    U.create ~params:small_params ~payload_bits:2 ~idx_bits:6
+      ~apply:(fun st inc -> (st + inc, st))
+      ~init:0 ()
+  in
+  let handles =
+    Array.init n (fun _ ->
+        Sim.spawn sim (fun () ->
+            List.init per_process (fun _ ->
+                let _pre, fetched = U.invoke counter 1 in
+                fetched)))
+  in
+  let completed = Sim.run sim = Sim.Completed in
+  let results =
+    Array.to_list handles |> List.filter_map Sim.result |> List.concat
+  in
+  let final_states =
+    List.init n (fun pid -> U.local_state counter ~pid)
+  in
+  (completed, results, final_states)
+
+let test_counter_linearizable () =
+  for seed = 1 to 6 do
+    let n = 2 and per_process = 3 in
+    let completed, fetched, _ = run_counter ~n ~seed ~per_process in
+    if not completed then Alcotest.failf "counter: seed %d timed out" seed;
+    let total = n * per_process in
+    Alcotest.(check int) "all ops returned" total (List.length fetched);
+    (* fetch-and-add(1) results must be exactly {0, .., total-1}: any
+       duplicate or gap is a linearizability violation. *)
+    let sorted = List.sort compare fetched in
+    Alcotest.(check (list int)) "results form 0..total-1"
+      (List.init total Fun.id) sorted
+  done
+
+let test_counter_replicas_converge () =
+  let completed, _, states = run_counter ~n:3 ~seed:9 ~per_process:2 in
+  Alcotest.(check bool) "completed" true completed;
+  (* Every replica that replayed the full log reached the same total. *)
+  List.iter
+    (fun s ->
+      if s <> 6 then
+        (* A replica may lag (it stops replaying once its own ops are
+           done), but it can never exceed the total or disagree with a
+           prefix sum. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "state %d is a prefix sum" s)
+          true
+          (s >= 0 && s <= 6))
+    states
+
+let test_universal_rejects_bad_payload () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let module U = Universal.Make ((val Sim.runtime sim)) in
+  let obj =
+    U.create ~payload_bits:2 ~apply:(fun st x -> (st + x, st)) ~init:0 ()
+  in
+  ignore
+    (Sim.spawn sim (fun () ->
+         Alcotest.check_raises "payload range"
+           (Invalid_argument "Universal.invoke: payload out of range")
+           (fun () -> ignore (U.invoke obj 4))));
+  ignore (Sim.run sim)
+
+let test_universal_rejects_wide_descriptor () =
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let module U = Universal.Make ((val Sim.runtime sim)) in
+  Alcotest.check_raises "width"
+    (Invalid_argument "Universal.create: descriptor exceeds the consensus domain")
+    (fun () ->
+      ignore
+        (U.create ~payload_bits:20 ~idx_bits:20
+           ~apply:(fun st x -> (st + x, st))
+           ~init:0 ()))
+
+(* --- sticky bit ------------------------------------------------------ *)
+
+let test_sticky_bit_agreement () =
+  for seed = 1 to 8 do
+    let n = 3 in
+    let sim =
+      Sim.create ~seed ~max_steps:10_000_000 ~n
+        ~adversary:(Adversary.random ()) ()
+    in
+    let module S = Sticky_bit.Make ((val Sim.runtime sim)) in
+    let bit = S.create () in
+    let attempts = [| true; false; seed mod 2 = 0 |] in
+    let handles =
+      Array.init n (fun i -> Sim.spawn sim (fun () -> S.write bit attempts.(i)))
+    in
+    (match Sim.run sim with
+    | Sim.Completed -> ()
+    | Sim.Hit_step_limit -> Alcotest.failf "sticky: seed %d timed out" seed);
+    let stuck = Array.map (fun h -> Sim.result h) handles in
+    (* Everyone sees the same stuck value, and it is someone's write. *)
+    (match stuck.(0) with
+    | None -> Alcotest.fail "no result"
+    | Some v ->
+      Array.iter
+        (fun r -> Alcotest.(check (option bool)) "same stuck value" (Some v) r)
+        stuck;
+      if not (Array.exists (Bool.equal v) attempts) then
+        Alcotest.fail "stuck value was never written")
+  done
+
+let test_sticky_bit_uncontended_first_write_wins () =
+  let sim = Sim.create ~seed:4 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  let module S = Sticky_bit.Make ((val Sim.runtime sim)) in
+  let bit = S.create () in
+  let h0 =
+    Sim.spawn sim (fun () ->
+        let stuck = S.write bit true in
+        let seen = S.read bit in
+        (stuck, seen))
+  in
+  (* Second process only reads, after the writer finished. *)
+  let h1 = Sim.spawn sim (fun () -> ()) in
+  ignore h1;
+  ignore (Sim.run sim);
+  match Sim.result h0 with
+  | Some (stuck, seen) ->
+    Alcotest.(check bool) "own value sticks uncontended" true stuck;
+    Alcotest.(check (option bool)) "read sees it" (Some true) seen
+  | None -> Alcotest.fail "writer did not finish"
+
+let test_sticky_bit_read_before_write () =
+  let sim = Sim.create ~seed:4 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let module S = Sticky_bit.Make ((val Sim.runtime sim)) in
+  let bit = S.create () in
+  let h = Sim.spawn sim (fun () -> S.read bit) in
+  ignore (Sim.run sim);
+  Alcotest.(check (option (option bool))) "unset reads None" (Some None)
+    (Sim.result h)
+
+(* --- fetch and cons -------------------------------------------------- *)
+
+let test_fetch_and_cons () =
+  for seed = 1 to 4 do
+    let n = 2 in
+    let sim =
+      Sim.create ~seed ~max_steps:30_000_000 ~n
+        ~adversary:(Adversary.random ()) ()
+    in
+    let module F = Fetch_and_cons.Make ((val Sim.runtime sim)) in
+    let obj = F.create ~payload_bits:4 () in
+    let handles =
+      Array.init n (fun i ->
+          Sim.spawn sim (fun () ->
+              List.init 2 (fun k -> F.fetch_and_cons obj ((4 * i) + k + 1))))
+    in
+    (match Sim.run sim with
+    | Sim.Completed -> ()
+    | Sim.Hit_step_limit -> Alcotest.failf "cons: seed %d timed out" seed);
+    let returns =
+      Array.to_list handles |> List.filter_map Sim.result |> List.concat
+    in
+    Alcotest.(check int) "every cons returned" 4 (List.length returns);
+    (* Linearizability of fetch_and_cons: the returned prior lists have
+       pairwise distinct lengths 0..3, and each is the tail of every
+       longer one. *)
+    let sorted =
+      List.sort (fun a b -> compare (List.length a) (List.length b)) returns
+    in
+    List.iteri
+      (fun k l -> Alcotest.(check int) "distinct lengths" k (List.length l))
+      sorted;
+    let rec is_tail shorter longer =
+      if List.length shorter = List.length longer then shorter = longer
+      else match longer with [] -> false | _ :: tl -> is_tail shorter tl
+    in
+    let rec check_chain = function
+      | a :: (b :: _ as rest) ->
+        if not (is_tail a b) then Alcotest.fail "prior lists not a chain";
+        check_chain rest
+      | _ -> ()
+    in
+    check_chain sorted
+  done
+
+let suite =
+  [
+    Alcotest.test_case "counter linearizable" `Quick test_counter_linearizable;
+    Alcotest.test_case "counter replicas converge" `Quick
+      test_counter_replicas_converge;
+    Alcotest.test_case "payload validation" `Quick test_universal_rejects_bad_payload;
+    Alcotest.test_case "descriptor width validation" `Quick
+      test_universal_rejects_wide_descriptor;
+    Alcotest.test_case "sticky bit agreement" `Quick test_sticky_bit_agreement;
+    Alcotest.test_case "sticky bit first write" `Quick
+      test_sticky_bit_uncontended_first_write_wins;
+    Alcotest.test_case "sticky bit unset read" `Quick
+      test_sticky_bit_read_before_write;
+    Alcotest.test_case "fetch_and_cons chain" `Quick test_fetch_and_cons;
+  ]
+
+(* --- test-and-set / leader election ----------------------------------- *)
+
+let test_tas_exactly_one_winner () =
+  for seed = 1 to 8 do
+    let n = 3 in
+    let sim =
+      Sim.create ~seed ~max_steps:20_000_000 ~n
+        ~adversary:(Adversary.random ()) ()
+    in
+    let module T = Test_and_set.Make ((val Sim.runtime sim)) in
+    let tas = T.create () in
+    let handles =
+      Array.init n (fun _ -> Sim.spawn sim (fun () -> T.test_and_set tas))
+    in
+    (match Sim.run sim with
+    | Sim.Completed -> ()
+    | Sim.Hit_step_limit -> Alcotest.failf "tas: seed %d timed out" seed);
+    let winners =
+      Array.to_list handles
+      |> List.filter_map Sim.result
+      |> List.filter Fun.id
+    in
+    Alcotest.(check int) "exactly one winner" 1 (List.length winners)
+  done
+
+let test_tas_winner_visible () =
+  let sim =
+    Sim.create ~seed:3 ~max_steps:20_000_000 ~n:2
+      ~adversary:(Adversary.round_robin ()) ()
+  in
+  let module T = Test_and_set.Make ((val Sim.runtime sim)) in
+  let tas = T.create () in
+  let h0 =
+    Sim.spawn sim (fun () ->
+        let won = T.test_and_set tas in
+        (won, T.winner tas))
+  in
+  let _h1 = Sim.spawn sim (fun () -> fst (T.test_and_set tas, ())) in
+  ignore (Sim.run sim);
+  match Sim.result h0 with
+  | Some (won, Some w) ->
+    Alcotest.(check bool) "winner flag matches board" won (w = 0)
+  | Some (_, None) -> Alcotest.fail "winner not posted"
+  | None -> Alcotest.fail "no result"
+
+let tas_suite =
+  [
+    Alcotest.test_case "tas: exactly one winner" `Quick test_tas_exactly_one_winner;
+    Alcotest.test_case "tas: winner visible" `Quick test_tas_winner_visible;
+  ]
+
+let suite = suite @ tas_suite
+
+let test_counter_bursty_adversary () =
+  let sim =
+    Sim.create ~seed:13 ~max_steps:30_000_000 ~n:2
+      ~adversary:(Adversary.bursty ~burst:23 ()) ()
+  in
+  let module U = Universal.Make ((val Sim.runtime sim)) in
+  let counter =
+    U.create ~payload_bits:2 ~idx_bits:6
+      ~apply:(fun st inc -> (st + inc, st))
+      ~init:0 ()
+  in
+  let handles =
+    Array.init 2 (fun _ ->
+        Sim.spawn sim (fun () -> List.init 2 (fun _ -> snd (U.invoke counter 1))))
+  in
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "bursty: timed out");
+  let fetched =
+    Array.to_list handles |> List.filter_map Sim.result |> List.concat
+  in
+  Alcotest.(check (list int)) "results form 0..3" [ 0; 1; 2; 3 ]
+    (List.sort compare fetched)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "counter under bursty adversary" `Quick
+        test_counter_bursty_adversary;
+    ]

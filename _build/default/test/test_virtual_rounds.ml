@@ -1,0 +1,80 @@
+open Bprc_runtime
+open Bprc_core
+
+(* Run the full protocol with scan recording and hand the observations
+   to the §6.1 checker. *)
+let run_recorded ~n ~seed ~adversary ~inputs =
+  let sim = Sim.create ~seed ~max_steps:3_000_000 ~n ~adversary () in
+  let module C = Ads89.Make ((val Sim.runtime sim)) in
+  let t = C.create ~record_scans:true () in
+  let _handles =
+    Array.init n (fun i -> Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
+  in
+  let completed = Sim.run sim = Sim.Completed in
+  (completed, C.recorded_scans t)
+
+let check_seeds ~n ~seeds ~adversary name =
+  for seed = 1 to seeds do
+    let inputs =
+      let r = Bprc_rng.Splitmix.create ~seed:(seed * 31) in
+      Array.init n (fun _ -> Bprc_rng.Splitmix.bool r)
+    in
+    let completed, obs = run_recorded ~n ~seed ~adversary:(adversary ()) ~inputs in
+    if not completed then Alcotest.failf "%s: seed %d timed out" name seed;
+    match Virtual_rounds.check ~k:2 ~n obs with
+    | Ok report ->
+      if report.Virtual_rounds.scans_checked = 0 then
+        Alcotest.failf "%s: seed %d recorded nothing" name seed;
+      if report.Virtual_rounds.max_virtual_round < 1 then
+        Alcotest.failf "%s: seed %d never advanced" name seed
+    | Error e -> Alcotest.failf "%s: seed %d: %s" name seed e
+  done
+
+let test_random () = check_seeds ~n:3 ~seeds:25 ~adversary:Adversary.random "random"
+
+let test_round_robin () =
+  check_seeds ~n:4 ~seeds:10 ~adversary:Adversary.round_robin "round-robin"
+
+let test_bursty () =
+  check_seeds ~n:4 ~seeds:10
+    ~adversary:(fun () -> Adversary.bursty ~burst:13 ())
+    "bursty"
+
+let test_serialization_is_total () =
+  (* The ghost vectors of all recorded scans must form a chain — P3
+     lifted to the protocol's own scans.  [check] already fails on
+     incomparability; this test asserts it over many seeds with wide n. *)
+  check_seeds ~n:6 ~seeds:6 ~adversary:Adversary.random "wide"
+
+let test_checker_flags_incomparable () =
+  let ob spid ghosts =
+    {
+      Virtual_rounds.spid;
+      ghosts;
+      rows = [| [| 0; 0 |]; [| 0; 0 |] |];
+    }
+  in
+  match
+    Virtual_rounds.check ~k:2 ~n:2 [ ob 0 [| 1; 0 |]; ob 1 [| 0; 1 |] ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "incomparable views not flagged"
+
+let test_checker_empty () =
+  match Virtual_rounds.check ~k:2 ~n:3 [] with
+  | Ok r ->
+    Alcotest.(check int) "no scans" 0 r.Virtual_rounds.scans_checked;
+    Alcotest.(check int) "round 0" 0 r.Virtual_rounds.max_virtual_round
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "monotone under random" `Quick test_random;
+    Alcotest.test_case "monotone under round-robin" `Quick test_round_robin;
+    Alcotest.test_case "monotone under bursty" `Quick test_bursty;
+    Alcotest.test_case "serialization total (n=6)" `Quick
+      test_serialization_is_total;
+    Alcotest.test_case "flags incomparable views" `Quick
+      test_checker_flags_incomparable;
+    Alcotest.test_case "empty history" `Quick test_checker_empty;
+  ]
