@@ -130,7 +130,7 @@ let experiment_cmd =
   let ids_arg =
     Arg.(
       value & pos_all string []
-      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E10); all when empty.")
+      & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E14); all when empty.")
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced trial counts.")
@@ -138,24 +138,84 @@ let experiment_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
   in
-  let action ids quick csv =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write a machine-readable JSON report to $(docv) (schema in \
+             EXPERIMENTS.md).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Fan trials over $(docv) domains (default: one per core, \
+             overridable via BPRC_WORKERS).")
+  in
+  let action ids quick csv json workers =
     let ids = if ids = [] then Bprc_harness.Experiments.ids else ids in
-    List.iter
-      (fun id ->
-        match Bprc_harness.Experiments.by_id id with
-        | None ->
-          Fmt.epr "unknown experiment %s@." id;
-          exit 2
-        | Some fn ->
-          let table = fn ~quick () in
+    (match
+       List.find_opt
+         (fun id -> Bprc_harness.Experiments.by_id id = None)
+         ids
+     with
+    | Some id ->
+      Fmt.epr "unknown experiment %s; valid ids: %s@." id
+        (String.concat " " Bprc_harness.Experiments.ids);
+      exit 2
+    | None -> ());
+    (match workers with
+    | Some w when w < 1 ->
+      Fmt.epr "--workers expects a positive integer@.";
+      exit 2
+    | _ -> ());
+    let pool =
+      try
+        match workers with
+        | Some w -> Bprc_harness.Pool.create ~workers:w ()
+        | None -> Bprc_harness.Pool.default ()
+      with Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        exit 2
+    in
+    let t0 = Unix.gettimeofday () in
+    let entries =
+      List.map
+        (fun id ->
+          let fn = Option.get (Bprc_harness.Experiments.by_id id) in
+          let t = Unix.gettimeofday () in
+          let table = fn ~quick ~pool () in
+          let wall_s = Unix.gettimeofday () -. t in
           if csv then print_string (Bprc_harness.Table.to_csv table)
-          else Bprc_harness.Table.print table)
-      ids
+          else Bprc_harness.Table.print table;
+          { Bprc_harness.Report.table; wall_s })
+        ids
+    in
+    match json with
+    | None -> ()
+    | Some path ->
+      let report =
+        {
+          Bprc_harness.Report.date =
+            Bprc_harness.Report.iso8601 (Unix.time ());
+          workers = Bprc_harness.Pool.workers pool;
+          quick;
+          total_wall_s = Unix.gettimeofday () -. t0;
+          calibration = None;
+          entries;
+        }
+      in
+      Bprc_harness.Report.write ~path report;
+      Fmt.pr "wrote %s@." path
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Reproduce the paper's quantitative claims (see EXPERIMENTS.md).")
-    Term.(const action $ ids_arg $ quick_arg $ csv_arg)
+    Term.(const action $ ids_arg $ quick_arg $ csv_arg $ json_arg $ workers_arg)
 
 (* --- multi ------------------------------------------------------------ *)
 

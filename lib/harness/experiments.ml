@@ -4,27 +4,52 @@ let i = Table.fmt_int
 let scale quick full = if quick then max 1 (full / 4) else full
 
 (* ------------------------------------------------------------------ *)
+(* Trial fan-out.
 
-let e1_coin_agreement ?(quick = false) () =
+   Every experiment expresses its trials as pure [(rng -> sample)]
+   functions and submits them to a domain pool.  Trial [idx] of a cell
+   draws from [Splitmix.fork base idx] where [base] is itself forked
+   from the experiment's root generator by cell index, so the whole
+   suite is deterministic in the experiment's fixed root seed and
+   bit-identical at any worker count (1 worker = the old sequential
+   run).                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let the_pool = function Some p -> p | None -> Pool.default ()
+
+let samples ?pool ~base ~trials f =
+  Pool.map_seeded (the_pool pool) ~rng:base ~trials f
+
+(* A fresh simulator seed for one trial. *)
+let seed_of rng = Bprc_rng.Splitmix.bits30 rng
+
+let count p arr =
+  Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 arr
+
+let collect f arr = List.filter_map f (Array.to_list arr)
+
+(* ------------------------------------------------------------------ *)
+
+let e1_coin_agreement ?(quick = false) ?pool () =
   let n = 4 in
   let trials = scale quick 400 in
-  let rate_under sched delta =
-    let disagree = ref 0 in
-    let timeouts = ref 0 in
-    for seed = 1 to trials do
-      let r =
-        Run.coin_once ~delta ~sched ~n ~seed:(seed + (delta * 100_000)) ()
-      in
-      if not r.Run.coin_completed then incr timeouts
-      else if not r.Run.agreed then incr disagree
-    done;
-    (float_of_int !disagree /. float_of_int trials, !timeouts)
+  let root = Bprc_rng.Splitmix.create ~seed:0xE1 in
+  let rate_under cell sched delta =
+    let runs =
+      samples ?pool ~base:(Bprc_rng.Splitmix.fork root cell) ~trials (fun rng ->
+          Run.coin_once ~delta ~sched ~n ~seed:(seed_of rng) ())
+    in
+    let disagree =
+      count (fun r -> r.Run.coin_completed && not r.Run.agreed) runs
+    in
+    let timeouts = count (fun r -> not r.Run.coin_completed) runs in
+    (float_of_int disagree /. float_of_int trials, timeouts)
   in
   let rows =
-    List.map
-      (fun delta ->
-        let random_rate, t1 = rate_under Run.Random_sched delta in
-        let adv_rate, t2 = rate_under Run.Osc_coin_sched delta in
+    List.mapi
+      (fun c delta ->
+        let random_rate, t1 = rate_under (2 * c) Run.Random_sched delta in
+        let adv_rate, t2 = rate_under ((2 * c) + 1) Run.Osc_coin_sched delta in
         [
           i delta;
           i trials;
@@ -56,18 +81,23 @@ let e1_coin_agreement ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e2_coin_steps ?(quick = false) () =
+let e2_coin_steps ?(quick = false) ?pool () =
   let trials = scale quick 80 in
   let ns = [ 2; 4; 8; 16 ] in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE2 in
   let data =
-    List.map
-      (fun n ->
-        let steps = ref [] in
-        for seed = 1 to trials do
-          let r = Run.coin_once ~delta:2 ~n ~seed:(seed + (n * 10_000)) () in
-          steps := float_of_int r.Run.walk_steps :: !steps
-        done;
-        (n, !steps))
+    List.mapi
+      (fun c n ->
+        let runs =
+          samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials
+            (fun rng -> Run.coin_once ~delta:2 ~n ~seed:(seed_of rng) ())
+        in
+        let steps =
+          collect
+            (fun (r : Run.coin_run) -> Some (float_of_int r.Run.walk_steps))
+            runs
+        in
+        (n, steps))
       ns
   in
   let slope =
@@ -94,37 +124,41 @@ let e2_coin_steps ?(quick = false) () =
         Printf.sprintf "log-log slope of steps vs n: %.2f (theory: 2.0)" slope;
         "steps/n^2 should be roughly flat (the Θ(n²) constant).";
       ]
+    ~metrics:[ ("loglog_slope", slope) ]
     rows
 
 (* ------------------------------------------------------------------ *)
 
-let e3_overflow ?(quick = false) () =
+let e3_overflow ?(quick = false) ?pool () =
   let n = 4 in
   let delta = 2 in
   let threshold = delta * n in
   let trials = scale quick 300 in
   let default_m = 4 * threshold * threshold in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE3 in
   let rows =
-    List.map
-      (fun m ->
-        let overflow_runs = ref 0 in
-        let heads = ref 0 in
-        let total_vals = ref 0 in
-        for seed = 1 to trials do
-          let r = Run.coin_once ~delta ~m ~n ~seed:(seed + (m * 1000)) () in
-          if r.Run.overflows > 0 then incr overflow_runs;
-          List.iter
-            (fun v ->
-              incr total_vals;
-              if v then incr heads)
-            r.Run.values
-        done;
+    List.mapi
+      (fun c m ->
+        let runs =
+          samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials
+            (fun rng -> Run.coin_once ~delta ~m ~n ~seed:(seed_of rng) ())
+        in
+        let overflow_runs = count (fun r -> r.Run.overflows > 0) runs in
+        let heads =
+          Array.fold_left
+            (fun acc r ->
+              acc + List.length (List.filter (fun v -> v) r.Run.values))
+            0 runs
+        in
+        let total_vals =
+          Array.fold_left (fun acc r -> acc + List.length r.Run.values) 0 runs
+        in
         [
           i m;
           i trials;
-          i !overflow_runs;
-          f (float_of_int !overflow_runs /. float_of_int trials);
-          f (float_of_int !heads /. float_of_int (max 1 !total_vals));
+          i overflow_runs;
+          f (float_of_int overflow_runs /. float_of_int trials);
+          f (float_of_int heads /. float_of_int (max 1 total_vals));
         ])
       [ threshold + 1; 2 * threshold; threshold * threshold; default_m ]
   in
@@ -142,29 +176,29 @@ let e3_overflow ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e4_rounds ?(quick = false) () =
+let e4_rounds ?(quick = false) ?pool () =
   let trials = scale quick 60 in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE4 in
   let rows =
-    List.map
-      (fun n ->
-        let rounds = ref [] in
-        let steps = ref [] in
-        for seed = 1 to trials do
-          let r =
-            Run.consensus_once ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
-              ~pattern:Run.Random_inputs ~n ~seed:(seed + (n * 7000)) ()
-          in
-          if r.Run.completed then begin
-            rounds := float_of_int r.Run.max_round :: !rounds;
-            steps := float_of_int r.Run.steps :: !steps
-          end
-        done;
+    List.mapi
+      (fun c n ->
+        let runs =
+          samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials
+            (fun rng ->
+              Run.consensus_once ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
+                ~pattern:Run.Random_inputs ~n ~seed:(seed_of rng) ())
+        in
+        let completed = collect (fun r -> if r.Run.completed then Some r else None) runs in
+        let rounds =
+          List.map (fun r -> float_of_int r.Run.max_round) completed
+        in
+        let steps = List.map (fun r -> float_of_int r.Run.steps) completed in
         [
           i n;
-          i (List.length !rounds);
-          f (Stats.mean !rounds);
-          f (Stats.maximum !rounds);
-          f (Stats.mean !steps);
+          i (List.length rounds);
+          f (Stats.mean rounds);
+          f (Stats.maximum rounds);
+          f (Stats.mean steps);
         ])
       [ 2; 3; 4; 6; 8 ]
   in
@@ -179,7 +213,7 @@ let e4_rounds ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e5_total_steps ?(quick = false) () =
+let e5_total_steps ?(quick = false) ?pool () =
   let trials = scale quick 24 in
   let cap = 8_000_000 in
   let algos =
@@ -191,37 +225,44 @@ let e5_total_steps ?(quick = false) () =
     ]
   in
   let ns = [ 2; 4; 6; 8; 10 ] in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE5 in
+  let cell = ref 0 in
   let rows =
     List.concat_map
       (fun n ->
         List.map
           (fun algo ->
+            let c = !cell in
+            incr cell;
             (* The exponential baseline is only attempted while feasible. *)
             let skip = algo = Run.Ads Bprc_core.Ads89.Local_flips && n > 10 in
             if skip then
               [ i n; Run.algo_name algo; "-"; "-"; "-"; "skipped (exp.)" ]
             else begin
-              let steps = ref [] in
-              let timeouts = ref 0 in
-              for seed = 1 to trials do
-                let r =
-                  Run.consensus_once ~max_steps:cap ~sched:Run.Round_robin_sched
-                    ~algo ~pattern:Run.Random_inputs ~n ~seed:(seed + (n * 31))
-                    ()
-                in
-                if r.Run.completed then
-                  steps := float_of_int r.Run.steps :: !steps
-                else incr timeouts
-              done;
-              let m = if !steps = [] then nan else Stats.mean !steps in
+              let runs =
+                samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials
+                  (fun rng ->
+                    Run.consensus_once ~max_steps:cap
+                      ~sched:Run.Round_robin_sched ~algo
+                      ~pattern:Run.Random_inputs ~n ~seed:(seed_of rng) ())
+              in
+              let steps =
+                collect
+                  (fun r ->
+                    if r.Run.completed then Some (float_of_int r.Run.steps)
+                    else None)
+                  runs
+              in
+              let timeouts = count (fun r -> not r.Run.completed) runs in
+              let m = if steps = [] then nan else Stats.mean steps in
               [
                 i n;
                 Run.algo_name algo;
-                (if !steps = [] then "-" else f m);
-                (if !steps = [] then "-" else f (Stats.median !steps));
-                (if !steps = [] then "-" else f (Stats.maximum !steps));
-                (if !timeouts = 0 then "0"
-                 else Printf.sprintf "%d/%d" !timeouts trials);
+                (if steps = [] then "-" else f m);
+                (if steps = [] then "-" else f (Stats.median steps));
+                (if steps = [] then "-" else f (Stats.maximum steps));
+                (if timeouts = 0 then "0"
+                 else Printf.sprintf "%d/%d" timeouts trials);
               ]
             end)
           algos)
@@ -247,39 +288,38 @@ let e5_total_steps ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e6_space ?(quick = false) () =
+let e6_space ?(quick = false) ?pool () =
   let trials = scale quick 160 in
   let n = 4 in
   let ads_bits = Bprc_core.Params.register_bits Bprc_core.Params.default ~n in
-  let cell algo sched =
-    let bits = ref [] in
-    let rounds = ref [] in
-    for seed = 1 to trials do
-      let r =
-        Run.consensus_once ~sched ~algo ~pattern:Run.Random_inputs ~n
-          ~seed:(seed + 977) ()
-      in
-      if r.Run.completed then begin
-        bits := float_of_int r.Run.register_bits :: !bits;
-        rounds := float_of_int r.Run.max_round :: !rounds
-      end
-    done;
+  let root = Bprc_rng.Splitmix.create ~seed:0xE6 in
+  let cell c algo sched =
+    let runs =
+      samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials (fun rng ->
+          Run.consensus_once ~sched ~algo ~pattern:Run.Random_inputs ~n
+            ~seed:(seed_of rng) ())
+    in
+    let completed = collect (fun r -> if r.Run.completed then Some r else None) runs in
+    let bits =
+      List.map (fun r -> float_of_int r.Run.register_bits) completed
+    in
+    let rounds = List.map (fun r -> float_of_int r.Run.max_round) completed in
     [
       Run.algo_name algo;
       Run.sched_name sched;
-      i (List.length !bits);
-      f (Stats.minimum !bits);
-      f (Stats.median !bits);
-      f (Stats.maximum !bits);
-      f (Stats.maximum !rounds);
+      i (List.length bits);
+      f (Stats.minimum bits);
+      f (Stats.median bits);
+      f (Stats.maximum bits);
+      f (Stats.maximum rounds);
     ]
   in
   let measured =
     [
-      cell (Run.Ads Bprc_core.Ads89.Shared_walk) Run.Random_sched;
-      cell (Run.Ads Bprc_core.Ads89.Shared_walk) Run.Osc_coin_sched;
-      cell Run.Ah Run.Random_sched;
-      cell Run.Ah Run.Osc_coin_sched;
+      cell 0 (Run.Ads Bprc_core.Ads89.Shared_walk) Run.Random_sched;
+      cell 1 (Run.Ads Bprc_core.Ads89.Shared_walk) Run.Osc_coin_sched;
+      cell 2 Run.Ah Run.Random_sched;
+      cell 3 Run.Ah Run.Osc_coin_sched;
     ]
   in
   (* Analytic worst-case rows: the AH88-style register at round r costs
@@ -316,72 +356,77 @@ let e6_space ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e7_scan_contention ?(quick = false) () =
+let e7_scan_contention ?(quick = false) ?pool () =
   let trials = scale quick 40 in
   let scans_each = 5 in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE7 in
+  (* One trial: an isolated simulation where [writers] processes churn
+     at a fixed duty cycle while one scanner performs [scans_each]
+     scans; returns per-scan retry and step costs when the scanner
+     finishes under the cap. *)
+  let trial ~writers rng =
+    let n = writers + 1 in
+    let sim =
+      Bprc_runtime.Sim.create ~seed:(seed_of rng) ~n
+        ~adversary:(Bprc_runtime.Adversary.random ()) ()
+    in
+    let module S = Bprc_snapshot.Handshake.Make ((val Bprc_runtime.Sim.runtime sim)) in
+    let mem = S.create ~init:0 () in
+    (* Writers churn for the whole run at a fixed duty cycle (one
+       write per 16 steps); fully saturating writers would starve the
+       scanner outright — scans are not wait-free, as the paper notes
+       — which the test suite demonstrates separately. *)
+    let (module R) = Bprc_runtime.Sim.runtime sim in
+    for _ = 1 to writers do
+      ignore
+        (Bprc_runtime.Sim.spawn sim (fun () ->
+             let k = ref 0 in
+             while true do
+               incr k;
+               S.write mem !k;
+               for _ = 1 to 14 do
+                 R.yield ()
+               done
+             done))
+    done;
+    let scanner = writers in
+    ignore
+      (Bprc_runtime.Sim.spawn sim (fun () ->
+           for _ = 1 to scans_each do
+             ignore (S.scan mem)
+           done));
+    (* Drive until the scanner finishes; the writers never do. *)
+    let cap = 500_000 in
+    let rec go () =
+      if
+        (not (Bprc_runtime.Sim.finished sim scanner))
+        && Bprc_runtime.Sim.clock sim < cap
+      then
+        if Bprc_runtime.Sim.step sim then go ()
+    in
+    go ();
+    if Bprc_runtime.Sim.finished sim scanner then
+      Some
+        ( float_of_int (S.scan_retries mem) /. float_of_int scans_each,
+          float_of_int (Bprc_runtime.Sim.steps_of sim scanner)
+          /. float_of_int scans_each )
+    else None
+  in
   let rows =
-    List.map
-      (fun writers ->
-        let retries = ref [] in
-        let scan_costs = ref [] in
-        for seed = 1 to trials do
-          let n = writers + 1 in
-          let sim =
-            Bprc_runtime.Sim.create ~seed:(seed + (writers * 7919)) ~n
-              ~adversary:(Bprc_runtime.Adversary.random ()) ()
-          in
-          let module S = Bprc_snapshot.Handshake.Make ((val Bprc_runtime.Sim.runtime sim)) in
-          let mem = S.create ~init:0 () in
-          (* Writers churn for the whole run at a fixed duty cycle
-             (one write per 16 steps); fully saturating writers would
-             starve the scanner outright — scans are not wait-free, as
-             the paper notes — which the test suite demonstrates
-             separately. *)
-          let (module R) = Bprc_runtime.Sim.runtime sim in
-          for _ = 1 to writers do
-            ignore
-              (Bprc_runtime.Sim.spawn sim (fun () ->
-                   let k = ref 0 in
-                   while true do
-                     incr k;
-                     S.write mem !k;
-                     for _ = 1 to 14 do
-                       R.yield ()
-                     done
-                   done))
-          done;
-          let scanner = writers in
-          ignore
-            (Bprc_runtime.Sim.spawn sim (fun () ->
-                 for _ = 1 to scans_each do
-                   ignore (S.scan mem)
-                 done));
-          (* Drive until the scanner finishes; the writers never do. *)
-          let cap = 500_000 in
-          let scanner_steps () = Bprc_runtime.Sim.steps_of sim scanner in
-          let rec go () =
-            if
-              (not (Bprc_runtime.Sim.finished sim scanner))
-              && Bprc_runtime.Sim.clock sim < cap
-            then
-              if Bprc_runtime.Sim.step sim then go ()
-          in
-          go ();
-          if Bprc_runtime.Sim.finished sim scanner then begin
-            retries :=
-              (float_of_int (S.scan_retries mem) /. float_of_int scans_each)
-              :: !retries;
-            scan_costs :=
-              (float_of_int (scanner_steps ()) /. float_of_int scans_each)
-              :: !scan_costs
-          end
-        done;
+    List.mapi
+      (fun c writers ->
+        let runs =
+          samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials
+            (trial ~writers)
+        in
+        let retries = collect (Option.map fst) runs in
+        let scan_costs = collect (Option.map snd) runs in
         [
           i writers;
-          i (List.length !retries);
-          f (Stats.mean !retries);
-          (if !retries = [] then "-" else f (Stats.maximum !retries));
-          f (Stats.mean !scan_costs);
+          i (List.length retries);
+          f (Stats.mean retries);
+          (if retries = [] then "-" else f (Stats.maximum retries));
+          f (Stats.mean scan_costs);
         ])
       [ 1; 2; 3; 4; 6 ]
   in
@@ -401,41 +446,44 @@ let e7_scan_contention ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e8_strip_compression ?(quick = false) () =
+let e8_strip_compression ?(quick = false) ?pool () =
   let moves = if quick then 1500 else 6000 in
+  let configs = [| (4, 2); (8, 2); (8, 4) |] in
+  (* Each configuration is one long deterministic run (stateful game
+     vs counters), so the fan-out is per configuration, not per trial. *)
+  let run_config (n, k) =
+    let game = Bprc_strip.Token_game.create ~k ~n in
+    let counters = Bprc_strip.Edge_counters.create ~k ~n in
+    let r = Bprc_rng.Splitmix.create ~seed:(n + (k * 17)) in
+    let mismatches = ref 0 in
+    let max_pos = ref 0 in
+    for _ = 1 to moves do
+      let who = Bprc_rng.Splitmix.int r n in
+      Bprc_strip.Token_game.move game who;
+      Bprc_strip.Edge_counters.apply_inc counters who;
+      let pos = Bprc_strip.Token_game.positions game in
+      Array.iter (fun p -> if p > !max_pos then max_pos := p) pos;
+      let expected = Bprc_strip.Distance_graph.of_positions ~k pos in
+      let got = Bprc_strip.Edge_counters.to_graph counters in
+      if not (Bprc_strip.Distance_graph.equal expected got) then
+        incr mismatches
+    done;
+    let raw = Bprc_strip.Token_game.raw_positions game in
+    let raw_max = Array.fold_left max 0 raw in
+    [
+      i n;
+      i k;
+      i moves;
+      i raw_max;
+      i !max_pos;
+      i (k * n);
+      i !mismatches;
+    ]
+  in
   let rows =
-    List.map
-      (fun (n, k) ->
-        let game = Bprc_strip.Token_game.create ~k ~n in
-        let counters = Bprc_strip.Edge_counters.create ~k ~n in
-        let r = Bprc_rng.Splitmix.create ~seed:(n + (k * 17)) in
-        let mismatches = ref 0 in
-        let max_pos = ref 0 in
-        for _ = 1 to moves do
-          let who = Bprc_rng.Splitmix.int r n in
-          Bprc_strip.Token_game.move game who;
-          Bprc_strip.Edge_counters.apply_inc counters who;
-          let pos = Bprc_strip.Token_game.positions game in
-          Array.iter (fun p -> if p > !max_pos then max_pos := p) pos;
-          let expected =
-            Bprc_strip.Distance_graph.of_positions ~k pos
-          in
-          let got = Bprc_strip.Edge_counters.to_graph counters in
-          if not (Bprc_strip.Distance_graph.equal expected got) then
-            incr mismatches
-        done;
-        let raw = Bprc_strip.Token_game.raw_positions game in
-        let raw_max = Array.fold_left max 0 raw in
-        [
-          i n;
-          i k;
-          i moves;
-          i raw_max;
-          i !max_pos;
-          i (k * n);
-          i !mismatches;
-        ])
-      [ (4, 2); (8, 2); (8, 4) ]
+    Pool.map (the_pool pool) (Array.length configs) (fun c ->
+        run_config configs.(c))
+    |> Array.to_list
   in
   Table.make ~id:"E8"
     ~title:"Bounded strip vs unbounded rounds (Claim 4.1 + normalization)"
@@ -451,7 +499,7 @@ let e8_strip_compression ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e9_correctness ?(quick = false) () =
+let e9_correctness ?(quick = false) ?pool () =
   let trials = scale quick 30 in
   let n = 4 in
   let algos = [ Run.Ads Bprc_core.Ads89.Shared_walk; Run.Ah ] in
@@ -462,6 +510,8 @@ let e9_correctness ?(quick = false) () =
     | Run.Split -> "split"
     | Run.Random_inputs -> "random"
   in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE9 in
+  let cell = ref 0 in
   let rows =
     List.concat_map
       (fun algo ->
@@ -469,33 +519,43 @@ let e9_correctness ?(quick = false) () =
           (fun sched ->
             List.map
               (fun pattern ->
-                let violations = ref 0 in
-                let undecided = ref 0 in
-                let timeouts = ref 0 in
-                for seed = 1 to trials do
-                  let r =
-                    Run.consensus_once ~sched ~algo ~pattern ~n
-                      ~seed:(seed * 13)
-                      ~crash_at:
-                        (if seed mod 3 = 0 then [ (100 + seed, seed mod n) ]
-                         else [])
-                      ()
-                  in
-                  (match r.Run.spec with Ok () -> () | Error _ -> incr violations);
-                  if not r.Run.completed then incr timeouts
-                  else if
-                    Array.exists (fun d -> d = None) r.Run.decisions
-                    && seed mod 3 <> 0
-                  then incr undecided
-                done;
+                let base = Bprc_rng.Splitmix.fork root !cell in
+                incr cell;
+                (* Every third trial also crashes one process mid-run,
+                   so the trial needs its index (not just its rng). *)
+                let runs =
+                  Pool.map (the_pool pool) trials (fun idx ->
+                      let rng = Bprc_rng.Splitmix.fork base idx in
+                      let crashed = idx mod 3 = 0 in
+                      let r =
+                        Run.consensus_once ~sched ~algo ~pattern ~n
+                          ~seed:(seed_of rng)
+                          ~crash_at:
+                            (if crashed then [ (100 + idx, idx mod n) ]
+                             else [])
+                          ()
+                      in
+                      (crashed, r))
+                in
+                let violations =
+                  count (fun (_, r) -> r.Run.spec <> Ok ()) runs
+                in
+                let timeouts = count (fun (_, r) -> not r.Run.completed) runs in
+                let undecided =
+                  count
+                    (fun (crashed, r) ->
+                      r.Run.completed && (not crashed)
+                      && Array.exists (fun d -> d = None) r.Run.decisions)
+                    runs
+                in
                 [
                   Run.algo_name algo;
                   Run.sched_name sched;
                   pattern_name pattern;
                   i trials;
-                  i !violations;
-                  i !undecided;
-                  i !timeouts;
+                  i violations;
+                  i undecided;
+                  i timeouts;
                 ])
               patterns)
           scheds)
@@ -514,22 +574,26 @@ let e9_correctness ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e10_adaptive_adversary ?(quick = false) () =
+let e10_adaptive_adversary ?(quick = false) ?pool () =
   let trials = scale quick 120 in
   let n = 4 in
-  let per sched =
-    let steps = ref [] in
-    let disagree = ref 0 in
-    for seed = 1 to trials do
-      let r = Run.coin_once ~delta:2 ~sched ~n ~seed:(seed * 3 + 1) () in
-      steps := float_of_int r.Run.walk_steps :: !steps;
-      if not r.Run.agreed then incr disagree
-    done;
-    (!steps, !disagree)
+  let root = Bprc_rng.Splitmix.create ~seed:0xE10 in
+  let per c sched =
+    let runs =
+      samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials (fun rng ->
+          Run.coin_once ~delta:2 ~sched ~n ~seed:(seed_of rng) ())
+    in
+    let steps =
+      collect
+        (fun (r : Run.coin_run) -> Some (float_of_int r.Run.walk_steps))
+        runs
+    in
+    let disagree = count (fun (r : Run.coin_run) -> not r.Run.agreed) runs in
+    (steps, disagree)
   in
-  let rnd_steps, rnd_dis = per Run.Random_sched in
-  let anti_steps, anti_dis = per Run.Anti_coin_sched in
-  let osc_steps, osc_dis = per Run.Osc_coin_sched in
+  let rnd_steps, rnd_dis = per 0 Run.Random_sched in
+  let anti_steps, anti_dis = per 1 Run.Anti_coin_sched in
+  let osc_steps, osc_dis = per 2 Run.Osc_coin_sched in
   let row name steps dis =
     [
       name;
@@ -549,6 +613,7 @@ let e10_adaptive_adversary ?(quick = false) () =
           "adaptive/random mean-step ratio: %.2fx — a constant factor," ratio;
         "not an asymptotic change: the adversary cannot stop the walk.";
       ]
+    ~metrics:[ ("adaptive_random_step_ratio", ratio) ]
     [
       row "random" rnd_steps rnd_dis;
       row "anti-coin (stretch)" anti_steps anti_dis;
@@ -557,34 +622,35 @@ let e10_adaptive_adversary ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e11_delta_ablation ?(quick = false) () =
+let e11_delta_ablation ?(quick = false) ?pool () =
   let trials = scale quick 60 in
   let n = 4 in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE11 in
   let rows =
-    List.map
-      (fun delta ->
+    List.mapi
+      (fun c delta ->
         let params = { Bprc_core.Params.default with Bprc_core.Params.delta } in
-        let steps = ref [] in
-        let rounds = ref [] in
-        let walks = ref [] in
-        for seed = 1 to trials do
-          let r =
-            Run.consensus_once ~params
-              ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
-              ~pattern:Run.Random_inputs ~n ~seed:(seed + (delta * 409)) ()
-          in
-          if r.Run.completed then begin
-            steps := float_of_int r.Run.steps :: !steps;
-            rounds := float_of_int r.Run.max_round :: !rounds;
-            walks := float_of_int r.Run.walk_steps :: !walks
-          end
-        done;
+        let runs =
+          samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials
+            (fun rng ->
+              Run.consensus_once ~params
+                ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
+                ~pattern:Run.Random_inputs ~n ~seed:(seed_of rng) ())
+        in
+        let completed = collect (fun r -> if r.Run.completed then Some r else None) runs in
+        let steps = List.map (fun r -> float_of_int r.Run.steps) completed in
+        let rounds =
+          List.map (fun r -> float_of_int r.Run.max_round) completed
+        in
+        let walks =
+          List.map (fun r -> float_of_int r.Run.walk_steps) completed
+        in
         [
           i delta;
-          i (List.length !steps);
-          f (Stats.mean !steps);
-          f (Stats.mean !rounds);
-          f (Stats.mean !walks);
+          i (List.length steps);
+          f (Stats.mean steps);
+          f (Stats.mean rounds);
+          f (Stats.mean walks);
           i (Bprc_core.Params.register_bits params ~n);
         ])
       [ 1; 2; 4; 8 ]
@@ -603,40 +669,40 @@ let e11_delta_ablation ?(quick = false) () =
       ]
     rows
 
-let e12_k_ablation ?(quick = false) () =
+let e12_k_ablation ?(quick = false) ?pool () =
   let trials = scale quick 100 in
   let n = 4 in
   let scheds = [ Run.Random_sched; Run.Round_robin_sched; Run.Bursty_sched 11 ] in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE12 in
   let rows =
-    List.map
-      (fun k ->
+    List.mapi
+      (fun kc k ->
         let params = { Bprc_core.Params.default with Bprc_core.Params.k } in
-        let violations = ref 0 in
-        let steps = ref [] in
-        let rounds = ref [] in
-        let total = ref 0 in
-        List.iter
-          (fun sched ->
-            for seed = 1 to trials do
-              incr total;
-              let r =
-                Run.consensus_once ~params ~sched
-                  ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
-                  ~pattern:Run.Random_inputs ~n ~seed:(seed + (k * 601)) ()
-              in
-              (match r.Run.spec with Ok () -> () | Error _ -> incr violations);
-              if r.Run.completed then begin
-                steps := float_of_int r.Run.steps :: !steps;
-                rounds := float_of_int r.Run.max_round :: !rounds
-              end
-            done)
-          scheds;
+        let per_sched =
+          List.mapi
+            (fun sc sched ->
+              samples ?pool
+                ~base:(Bprc_rng.Splitmix.fork root ((kc * 8) + sc))
+                ~trials
+                (fun rng ->
+                  Run.consensus_once ~params ~sched
+                    ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
+                    ~pattern:Run.Random_inputs ~n ~seed:(seed_of rng) ()))
+            scheds
+        in
+        let runs = Array.concat per_sched in
+        let violations = count (fun r -> r.Run.spec <> Ok ()) runs in
+        let completed = collect (fun r -> if r.Run.completed then Some r else None) runs in
+        let steps = List.map (fun r -> float_of_int r.Run.steps) completed in
+        let rounds =
+          List.map (fun r -> float_of_int r.Run.max_round) completed
+        in
         [
           i k;
-          i !total;
-          i !violations;
-          f (Stats.mean !steps);
-          f (Stats.mean !rounds);
+          i (Array.length runs);
+          i violations;
+          f (Stats.mean steps);
+          f (Stats.mean rounds);
           i (Bprc_core.Params.register_bits params ~n);
         ])
       [ 1; 2; 3; 4 ]
@@ -658,37 +724,43 @@ let e12_k_ablation ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e13_snapshot_ablation ?(quick = false) () =
+let e13_snapshot_ablation ?(quick = false) ?pool () =
   let trials = scale quick 40 in
   let n = 4 in
   (* Part 1: consensus cost over each scannable-memory implementation
      (the protocol only relies on P1-P3). *)
   let cap = 1_000_000 in
-  let consensus_cost make_snap name =
-    let steps = ref [] in
-    let ok = ref true in
-    let timeouts = ref 0 in
-    for seed = 1 to trials do
-      let sim =
-        Bprc_runtime.Sim.create ~seed ~max_steps:cap ~n
-          ~adversary:(Bprc_runtime.Adversary.random ()) ()
-      in
-      let inputs = Run.inputs_of_pattern Run.Random_inputs ~n ~seed in
-      let decisions = make_snap sim inputs in
-      (match Bprc_core.Spec.check ~inputs ~decisions with
-      | Ok () -> ()
-      | Error _ -> ok := false);
-      if Bprc_runtime.Sim.clock sim >= cap then incr timeouts
-      else steps := float_of_int (Bprc_runtime.Sim.clock sim) :: !steps
-    done;
+  let root = Bprc_rng.Splitmix.create ~seed:0xE13 in
+  let consensus_cost c make_snap name =
+    let runs =
+      samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials (fun rng ->
+          let seed = seed_of rng in
+          let sim =
+            Bprc_runtime.Sim.create ~seed ~max_steps:cap ~n
+              ~adversary:(Bprc_runtime.Adversary.random ()) ()
+          in
+          let inputs = Run.inputs_of_pattern Run.Random_inputs ~n ~seed in
+          let decisions = make_snap sim inputs in
+          let ok = Bprc_core.Spec.check ~inputs ~decisions = Ok () in
+          let clock = Bprc_runtime.Sim.clock sim in
+          (ok, clock))
+    in
+    let ok = Array.for_all (fun (ok, _) -> ok) runs in
+    let steps =
+      collect
+        (fun (_, clock) ->
+          if clock >= cap then None else Some (float_of_int clock))
+        runs
+    in
+    let timeouts = count (fun (_, clock) -> clock >= cap) runs in
     [
       name;
       i trials;
-      f (Stats.mean !steps);
-      f (Stats.median !steps);
-      (if !ok then "0" else "VIOLATIONS");
-      (if !timeouts = 0 then "0"
-       else Printf.sprintf "%d/%d (livelock)" !timeouts trials);
+      f (Stats.mean steps);
+      f (Stats.median steps);
+      (if ok then "0" else "VIOLATIONS");
+      (if timeouts = 0 then "0"
+       else Printf.sprintf "%d/%d (livelock)" timeouts trials);
     ]
   in
   let over_handshake sim inputs =
@@ -733,9 +805,9 @@ let e13_snapshot_ablation ?(quick = false) () =
   in
   let rows =
     [
-      consensus_cost over_handshake "handshake (paper §2, bounded)";
-      consensus_cost over_unbounded "double collect (unbounded seqnos)";
-      consensus_cost over_embedded "embedded scans (wait-free, unbounded)";
+      consensus_cost 0 over_handshake "handshake (paper §2, bounded)";
+      consensus_cost 1 over_unbounded "double collect (unbounded seqnos)";
+      consensus_cost 2 over_embedded "embedded scans (wait-free, unbounded)";
     ]
   in
   Table.make ~id:"E13"
@@ -758,45 +830,53 @@ let e13_snapshot_ablation ?(quick = false) () =
 
 (* ------------------------------------------------------------------ *)
 
-let e14_network_consensus ?(quick = false) () =
+let e14_network_consensus ?(quick = false) ?pool () =
   let trials = scale quick 12 in
+  let root = Bprc_rng.Splitmix.create ~seed:0xE14 in
   let rows =
-    List.map
-      (fun n ->
-        let events = ref [] in
-        let messages = ref [] in
-        let quorums = ref [] in
-        let failures = ref 0 in
-        for seed = 1 to trials do
-          let t = Bprc_netsim.Abd.create ~seed ~max_events:50_000_000 ~n () in
-          let module C = Bprc_core.Ads89.Make ((val Bprc_netsim.Abd.runtime t)) in
-          let cons = C.create () in
-          let inputs = Run.inputs_of_pattern Run.Random_inputs ~n ~seed in
-          let handles =
-            Array.init n (fun i ->
-                Bprc_netsim.Abd.spawn_client t (fun () ->
-                    C.run cons ~input:inputs.(i)))
-          in
-          (match Bprc_netsim.Abd.run t with
-          | `Completed ->
-            let decisions = Array.map Bprc_netsim.Abd.result handles in
-            (match Bprc_core.Spec.check ~inputs ~decisions with
-            | Ok () -> ()
-            | Error _ -> incr failures);
-            events := float_of_int (Bprc_netsim.Abd.events t) :: !events;
-            messages :=
-              float_of_int (Bprc_netsim.Abd.messages_sent t) :: !messages;
-            quorums :=
-              float_of_int (Bprc_netsim.Abd.quorum_ops t) :: !quorums
-          | `Deadlock | `Event_limit -> incr failures)
-        done;
+    List.mapi
+      (fun c n ->
+        let runs =
+          samples ?pool ~base:(Bprc_rng.Splitmix.fork root c) ~trials
+            (fun rng ->
+              let seed = seed_of rng in
+              let t = Bprc_netsim.Abd.create ~seed ~max_events:50_000_000 ~n () in
+              let module C = Bprc_core.Ads89.Make ((val Bprc_netsim.Abd.runtime t)) in
+              let cons = C.create () in
+              let inputs = Run.inputs_of_pattern Run.Random_inputs ~n ~seed in
+              let handles =
+                Array.init n (fun i ->
+                    Bprc_netsim.Abd.spawn_client t (fun () ->
+                        C.run cons ~input:inputs.(i)))
+              in
+              match Bprc_netsim.Abd.run t with
+              | `Completed ->
+                let decisions = Array.map Bprc_netsim.Abd.result handles in
+                if Bprc_core.Spec.check ~inputs ~decisions <> Ok () then
+                  `Failure
+                else
+                  `Completed
+                    ( float_of_int (Bprc_netsim.Abd.events t),
+                      float_of_int (Bprc_netsim.Abd.messages_sent t),
+                      float_of_int (Bprc_netsim.Abd.quorum_ops t) )
+              | `Deadlock | `Event_limit -> `Failure)
+        in
+        let completed =
+          collect
+            (function `Completed (e, m, q) -> Some (e, m, q) | `Failure -> None)
+            runs
+        in
+        let events = List.map (fun (e, _, _) -> e) completed in
+        let messages = List.map (fun (_, m, _) -> m) completed in
+        let quorums = List.map (fun (_, _, q) -> q) completed in
+        let failures = count (fun r -> r = `Failure) runs in
         [
           i n;
-          i (List.length !events);
-          f (Stats.mean !events);
-          f (Stats.mean !messages);
-          f (Stats.mean !quorums);
-          i !failures;
+          i (List.length events);
+          f (Stats.mean events);
+          f (Stats.mean messages);
+          f (Stats.mean quorums);
+          i failures;
         ])
       [ 2; 3; 4 ]
   in
@@ -839,4 +919,5 @@ let ids = List.map fst registry
 let by_id id =
   List.assoc_opt (String.uppercase_ascii id) registry
 
-let all ?(quick = false) () = List.map (fun (_, fn) -> fn ?quick:(Some quick) ()) registry
+let all ?quick ?pool () =
+  List.map (fun (_, fn) -> fn ?quick ?pool ()) registry

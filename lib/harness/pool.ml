@@ -1,0 +1,149 @@
+(* A deliberately simple work-stealing-free pool: one mutex, two
+   condition variables, and an indexed job that workers drain by
+   claiming the next unclaimed trial.  Trials are coarse (a whole
+   simulated execution each, typically >= 100us), so per-trial lock
+   traffic is noise; what matters is that results land at their trial
+   index and never depend on which domain ran them. *)
+
+type job = {
+  run : int -> unit;  (* run trial [i]; must store its own result *)
+  count : int;
+  mutable next : int;  (* next unclaimed trial index; guarded by [m] *)
+  mutable in_flight : int;  (* claimed but unfinished; guarded by [m] *)
+}
+
+type t = {
+  target_workers : int;
+  m : Mutex.t;
+  work : Condition.t;  (* a job arrived, or the pool is stopping *)
+  finished : Condition.t;  (* the current job may be complete *)
+  mutable job : job option;
+  mutable error : exn option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;  (* spawned lazily *)
+}
+
+let default_workers () =
+  match Sys.getenv_opt "BPRC_WORKERS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some w when w >= 1 -> w
+    | Some _ | None -> invalid_arg "BPRC_WORKERS must be a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
+let create ?workers () =
+  let target_workers =
+    match workers with None -> default_workers () | Some w -> max 1 w
+  in
+  {
+    target_workers;
+    m = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    job = None;
+    error = None;
+    stop = false;
+    domains = [||];
+  }
+
+let workers t = t.target_workers
+
+(* Drain the job from the calling domain.  Takes and returns with
+   [t.m] held. *)
+let drain t j =
+  while j.next < j.count do
+    let i = j.next in
+    j.next <- i + 1;
+    j.in_flight <- j.in_flight + 1;
+    Mutex.unlock t.m;
+    let err = (try j.run i; None with e -> Some e) in
+    Mutex.lock t.m;
+    (match err with
+    | Some e ->
+      if t.error = None then t.error <- Some e;
+      (* Fail fast: skip unclaimed trials, the results are discarded. *)
+      j.next <- j.count
+    | None -> ());
+    j.in_flight <- j.in_flight - 1;
+    if j.next >= j.count && j.in_flight = 0 then Condition.broadcast t.finished
+  done
+
+let worker_loop t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.m
+    else
+      match t.job with
+      | Some j when j.next < j.count ->
+        drain t j;
+        loop ()
+      | _ ->
+        Condition.wait t.work t.m;
+        loop ()
+  in
+  loop ()
+
+let ensure_spawned t =
+  if Array.length t.domains = 0 && t.target_workers > 1 && not t.stop then
+    t.domains <-
+      Array.init (t.target_workers - 1) (fun _ ->
+          Domain.spawn (fun () -> worker_loop t))
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]
+
+let map t count f =
+  if count < 0 then invalid_arg "Pool.map: negative count";
+  if count = 0 then [||]
+  else begin
+    let results = Array.make count None in
+    let run i = results.(i) <- Some (f i) in
+    if t.target_workers <= 1 || count = 1 || t.stop then
+      for i = 0 to count - 1 do
+        run i
+      done
+    else begin
+      ensure_spawned t;
+      let j = { run; count; next = 0; in_flight = 0 } in
+      Mutex.lock t.m;
+      if t.job <> None then begin
+        Mutex.unlock t.m;
+        invalid_arg "Pool.map: nested map on the same pool"
+      end;
+      t.job <- Some j;
+      t.error <- None;
+      Condition.broadcast t.work;
+      (* The caller is a worker too. *)
+      drain t j;
+      while j.in_flight > 0 do
+        Condition.wait t.finished t.m
+      done;
+      t.job <- None;
+      let err = t.error in
+      t.error <- None;
+      Mutex.unlock t.m;
+      match err with Some e -> raise e | None -> ()
+    end;
+    Array.map (function Some x -> x | None -> assert false) results
+  end
+
+let map_seeded t ~rng ~trials f =
+  (* Snapshot the base state so helper domains only ever read it. *)
+  let base = Bprc_rng.Splitmix.copy rng in
+  map t trials (fun i -> f (Bprc_rng.Splitmix.fork base i))
+
+let shared = ref None
+
+let default () =
+  match !shared with
+  | Some p -> p
+  | None ->
+    let p = create () in
+    shared := Some p;
+    at_exit (fun () -> shutdown p);
+    p

@@ -1,0 +1,52 @@
+(** Fixed-size domain pool for embarrassingly parallel experiment
+    trials.
+
+    Trials are pure functions of a per-trial seed, so fanning them out
+    across OCaml 5 domains changes wall-clock time but not results:
+    {!map_seeded} hands trial [i] the generator [Splitmix.fork base i],
+    which depends only on the base generator's state and the trial
+    index — never on scheduling — so a run is bit-identical at any
+    worker count, including the inline sequential path of a 1-worker
+    pool.
+
+    A pool must only be driven from one domain at a time ([map] calls
+    do not nest), which is how the experiment suite uses it. *)
+
+type t
+
+val default_workers : unit -> int
+(** Worker count used by {!create} when [?workers] is omitted: the
+    [BPRC_WORKERS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] is a pool of [max 1 workers] workers.  The
+    calling domain counts as one worker; [workers - 1] helper domains
+    are spawned lazily on the first parallel {!map}.  A 1-worker pool
+    never spawns and runs everything inline. *)
+
+val workers : t -> int
+(** Total worker count (including the calling domain). *)
+
+val shutdown : t -> unit
+(** Join the helper domains.  Idempotent; the pool falls back to
+    inline sequential execution afterwards. *)
+
+val default : unit -> t
+(** A process-wide shared pool of {!default_workers} workers, created
+    on first use and shut down automatically at exit.  Must only be
+    used from the main domain. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map pool count f] is [[| f 0; ...; f (count-1) |]], with the
+    calls distributed over the pool's workers.  [f] must be safe to
+    call from any domain.  If any call raises, one of the exceptions is
+    re-raised in the caller after all claimed trials finish. *)
+
+val map_seeded :
+  t -> rng:Bprc_rng.Splitmix.t -> trials:int -> (Bprc_rng.Splitmix.t -> 'a) -> 'a array
+(** [map_seeded pool ~rng ~trials f] runs [trials] independent trials,
+    handing trial [i] the forked generator [Splitmix.fork rng i].  The
+    base generator is snapshotted up front and never advanced, so the
+    result depends only on [rng]'s state at call time and is identical
+    at any worker count. *)

@@ -1,0 +1,52 @@
+(** Machine-readable bench reports ([BENCH_<date>.json]).
+
+    One report captures a whole driver run: every experiment's table
+    (with numeric cells as JSON numbers), its wall time, automatic
+    per-column sample summaries (median, ci95, …), the worker count,
+    and a parallel-harness calibration (measured speedup of the domain
+    pool against the inline sequential path, plus a bitwise
+    determinism check of the per-trial results).  Reports from
+    successive PRs form the perf trajectory; see EXPERIMENTS.md for
+    the schema and how to compare two files. *)
+
+type entry = {
+  table : Table.t;
+  wall_s : float;  (** wall-clock seconds for this experiment *)
+}
+
+type calibration = {
+  trials : int;
+  seq_wall_s : float;  (** the same trial batch, inline on one worker *)
+  par_wall_s : float;  (** …and fanned out over the pool *)
+  speedup : float;  (** [seq_wall_s /. par_wall_s] *)
+  deterministic : bool;
+      (** per-trial results bit-identical between the two runs *)
+}
+
+type t = {
+  date : string;  (** ISO-8601 UTC timestamp of the run *)
+  workers : int;
+  quick : bool;
+  total_wall_s : float;
+  calibration : calibration option;
+  entries : entry list;
+}
+
+val schema_version : int
+
+val iso8601 : float -> string
+(** Render a Unix timestamp as [YYYY-MM-DDThh:mm:ssZ]. *)
+
+val default_filename : ?time:float -> unit -> string
+(** [BENCH_<YYYY-MM-DD>.json], defaulting to now. *)
+
+val column_summaries : Table.t -> (string * Stats.summary) list
+(** Per-column descriptive statistics over the rows whose cell in that
+    column parses as a finite number; columns with no numeric cells are
+    omitted. *)
+
+val to_json : t -> Table.json
+val to_string : t -> string
+
+val write : path:string -> t -> unit
+(** Serialize to [path] (trailing newline included). *)

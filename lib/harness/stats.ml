@@ -34,6 +34,27 @@ let median xs = percentile 50.0 xs
 let minimum xs = List.fold_left min infinity xs
 let maximum xs = List.fold_left max neg_infinity xs
 
+type summary = {
+  count : int;
+  mean : float;
+  median : float;
+  ci95 : float;
+  min : float;
+  max : float;
+}
+
+let summarize = function
+  | [] -> { count = 0; mean = nan; median = nan; ci95 = nan; min = nan; max = nan }
+  | xs ->
+    {
+      count = List.length xs;
+      mean = mean xs;
+      median = median xs;
+      ci95 = ci95 xs;
+      min = minimum xs;
+      max = maximum xs;
+    }
+
 let linear_slope pts =
   match pts with
   | [] | [ _ ] -> 0.0

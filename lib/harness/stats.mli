@@ -19,6 +19,20 @@ val median : float list -> float
 val minimum : float list -> float
 val maximum : float list -> float
 
+type summary = {
+  count : int;
+  mean : float;
+  median : float;
+  ci95 : float;
+  min : float;
+  max : float;
+}
+(** One-shot descriptive statistics of a sample, as carried into the
+    machine-readable bench reports.  All fields are [nan] (serialized
+    as JSON [null]) when the sample is empty. *)
+
+val summarize : float list -> summary
+
 val loglog_slope : (float * float) list -> float
 (** Least-squares slope of [log y] against [log x]; the empirical
     polynomial degree of a power-law relation.  Points with

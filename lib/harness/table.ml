@@ -4,15 +4,16 @@ type t = {
   columns : string list;
   rows : string list list;
   notes : string list;
+  metrics : (string * float) list;
 }
 
-let make ~id ~title ~columns ?(notes = []) rows =
+let make ~id ~title ~columns ?(notes = []) ?(metrics = []) rows =
   List.iter
     (fun r ->
       if List.length r <> List.length columns then
         invalid_arg "Table.make: row width mismatch")
     rows;
-  { id; title; columns; rows; notes }
+  { id; title; columns; rows; notes; metrics }
 
 let render t =
   let all = t.columns :: t.rows in
@@ -65,6 +66,93 @@ let to_csv t =
   row t.columns;
   List.iter row t.rows;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON — a minimal emitter so machine-readable reports need no        *)
+(* external dependency.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let buf_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let buf_json_float buf x =
+  (* JSON has no nan/infinity literal. *)
+  if not (Float.is_finite x) then Buffer.add_string buf "null"
+  else if Float.is_integer x && abs_float x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else Buffer.add_string buf (Printf.sprintf "%.12g" x)
+
+let rec buf_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> buf_json_float buf x
+  | Str s -> buf_json_string buf s
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        buf_json buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        buf_json_string buf k;
+        Buffer.add_char buf ':';
+        buf_json buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 1024 in
+  buf_json buf j;
+  Buffer.contents buf
+
+let cell_json s =
+  (* Numeric cells become JSON numbers so reports diff numerically. *)
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some x when Float.is_finite x -> Float x
+    | Some _ | None -> Str s)
+
+let to_json t =
+  Obj
+    [
+      ("id", Str t.id);
+      ("title", Str t.title);
+      ("columns", Arr (List.map (fun c -> Str c) t.columns));
+      ("rows", Arr (List.map (fun r -> Arr (List.map cell_json r)) t.rows));
+      ("notes", Arr (List.map (fun s -> Str s) t.notes));
+      ("metrics", Obj (List.map (fun (k, v) -> (k, Float v)) t.metrics));
+    ]
 
 let fmt_float x =
   if Float.is_integer x && abs_float x < 1e15 then

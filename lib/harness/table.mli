@@ -1,4 +1,4 @@
-(** Aligned ASCII tables (and CSV) for experiment output. *)
+(** Aligned ASCII tables (and CSV / JSON) for experiment output. *)
 
 type t = {
   id : string;  (** experiment identifier, e.g. "E2" *)
@@ -6,15 +6,40 @@ type t = {
   columns : string list;
   rows : string list list;
   notes : string list;  (** free-form lines printed under the table *)
+  metrics : (string * float) list;
+      (** headline scalars (slopes, ratios …) carried alongside the
+          rendered rows for machine-readable reports *)
 }
 
 val make :
   id:string -> title:string -> columns:string list ->
-  ?notes:string list -> string list list -> t
+  ?notes:string list -> ?metrics:(string * float) list ->
+  string list list -> t
 
 val render : t -> string
 val print : t -> unit
 val to_csv : t -> string
+
+(** {1 JSON}
+
+    A minimal JSON document type and emitter (no external dependency);
+    used by {!Report} for the [BENCH_*.json] perf-trajectory files. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values serialize as [null] *)
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact (single-line) rendering with full string escaping. *)
+
+val to_json : t -> json
+(** The table as an object; cells that parse as numbers are emitted as
+    JSON numbers, all others as strings. *)
 
 val fmt_float : float -> string
 (** Compact numeric formatting: integers without decimals, small values

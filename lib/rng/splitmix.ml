@@ -29,12 +29,18 @@ let int t bound =
     draw ()
   end
   else begin
-    (* Wide bound: use 62 bits. *)
+    (* Wide bound: rejection sampling over 62 bits.  The draw space has
+       2^62 values (0..mask), so the acceptance region is the largest
+       multiple of [bound] that fits in it: floor(2^62 / bound) * bound.
+       2^62 itself is not representable (OCaml ints are 63-bit), so the
+       divisibility case — where no draw ever needs rejecting — is
+       detected via [mask mod bound]. *)
     let mask = (1 lsl 62) - 1 in
-    let limit = mask / bound * bound in
+    let exact = mask mod bound = bound - 1 in
+    let limit = if exact then mask else mask / bound * bound in
     let rec draw () =
       let r = Int64.to_int (Int64.shift_right_logical (next64 t) 2) land mask in
-      if r < limit then r mod bound else draw ()
+      if exact || r < limit then r mod bound else draw ()
     in
     draw ()
   end

@@ -13,7 +13,10 @@ let is_empty t = t.len = 0
 let grow t x =
   let cap = Array.length t.data in
   let new_cap = if cap = 0 then 8 else cap * 2 in
-  let data = Array.make new_cap x in
+  (* Fill slack slots with an element that is stored anyway (index 0
+     when available) so the array never pins values beyond [len]. *)
+  let filler = if t.len = 0 then x else t.data.(0) in
+  let data = Array.make new_cap filler in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
 
@@ -39,10 +42,17 @@ let pop t =
   if t.len = 0 then None
   else begin
     t.len <- t.len - 1;
-    Some t.data.(t.len)
+    let x = t.data.(t.len) in
+    (* Release the vacated slot so the popped value can be collected:
+       overwrite with an element that is still stored, or drop the
+       backing array entirely when the vector empties. *)
+    if t.len = 0 then t.data <- [||] else t.data.(t.len) <- t.data.(0);
+    Some x
   end
 
-let clear t = t.len <- 0
+let clear t =
+  t.data <- [||];
+  t.len <- 0
 
 let iter f t =
   for i = 0 to t.len - 1 do

@@ -26,6 +26,27 @@ let test_percentile () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty list")
     (fun () -> ignore (Stats.percentile 50.0 []))
 
+let test_percentile_single () =
+  (* A one-element sample is every percentile of itself. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f of singleton" p)
+        true
+        (feq (Stats.percentile p [ 7.5 ]) 7.5))
+    [ 0.0; 25.0; 50.0; 100.0 ]
+
+let test_summarize () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check bool) "mean" true (feq s.Stats.mean 2.5);
+  Alcotest.(check bool) "median" true (feq s.Stats.median 2.5);
+  Alcotest.(check bool) "min" true (feq s.Stats.min 1.0);
+  Alcotest.(check bool) "max" true (feq s.Stats.max 4.0);
+  let e = Stats.summarize [] in
+  Alcotest.(check int) "empty count" 0 e.Stats.count;
+  Alcotest.(check bool) "empty mean is nan" true (Float.is_nan e.Stats.mean)
+
 let test_loglog_slope () =
   (* y = 3 x^2 exactly. *)
   let pts = List.map (fun x -> (x, 3.0 *. x *. x)) [ 1.0; 2.0; 4.0; 8.0 ] in
@@ -104,6 +125,159 @@ let test_fmt_float () =
   Alcotest.(check string) "integer" "42" (Table.fmt_float 42.0);
   Alcotest.(check string) "small" "0.125" (Table.fmt_float 0.125);
   Alcotest.(check string) "large" "1234.5" (Table.fmt_float 1234.5)
+
+let test_table_to_json () =
+  let t =
+    Table.make ~id:"T1" ~title:"json sample" ~columns:[ "n"; "mean"; "tag" ]
+      ~notes:[ "note" ]
+      ~metrics:[ ("slope", 2.0) ]
+      [ [ "4"; "1.5"; "ok" ]; [ "8"; "2.5"; "-" ] ]
+  in
+  let s = Table.json_to_string (Table.to_json t) in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true
+        (Astring.String.is_infix ~affix s))
+    [
+      "\"id\":\"T1\"";
+      "\"columns\":[\"n\",\"mean\",\"tag\"]";
+      "[4,1.5,\"ok\"]";
+      "[8,2.5,\"-\"]";
+      "\"slope\":2";
+    ]
+
+let test_json_string_escaping () =
+  let s =
+    Table.json_to_string
+      (Table.Arr
+         [
+           Table.Str "a\"b";
+           Table.Str "c\\d";
+           Table.Str "e\nf";
+           Table.Str "\x01";
+           Table.Float nan;
+           Table.Float 0.5;
+           Table.Bool true;
+           Table.Null;
+         ])
+  in
+  Alcotest.(check string) "escaped"
+    "[\"a\\\"b\",\"c\\\\d\",\"e\\nf\",\"\\u0001\",null,0.5,true,null]" s
+
+let test_report_json () =
+  let table =
+    Table.make ~id:"E0" ~title:"t" ~columns:[ "x"; "label" ]
+      [ [ "1"; "a" ]; [ "3"; "b" ] ]
+  in
+  let r =
+    {
+      Report.date = Report.iso8601 0.0;
+      workers = 2;
+      quick = true;
+      total_wall_s = 1.25;
+      calibration =
+        Some
+          {
+            Report.trials = 8;
+            seq_wall_s = 1.0;
+            par_wall_s = 0.5;
+            speedup = 2.0;
+            deterministic = true;
+          };
+      entries = [ { Report.table; wall_s = 0.25 } ];
+    }
+  in
+  let s = Report.to_string r in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true
+        (Astring.String.is_infix ~affix s))
+    [
+      "\"schema_version\":1";
+      "\"date\":\"1970-01-01T00:00:00Z\"";
+      "\"workers\":2";
+      "\"speedup\":2";
+      "\"deterministic\":true";
+      "\"id\":\"E0\"";
+      "\"wall_s\":0.25";
+    ];
+  (* Column summaries cover numeric columns only. *)
+  let sums = Report.column_summaries table in
+  Alcotest.(check (list string)) "numeric columns" [ "x" ] (List.map fst sums);
+  let x = List.assoc "x" sums in
+  Alcotest.(check int) "samples" 2 x.Stats.count;
+  Alcotest.(check bool) "mean" true (feq x.Stats.mean 2.0)
+
+let test_report_default_filename () =
+  Alcotest.(check string) "epoch name" "BENCH_1970-01-01.json"
+    (Report.default_filename ~time:0.0 ())
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_pool workers f =
+  let p = Pool.create ~workers () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_pool_map_order () =
+  with_pool 3 (fun p ->
+      let r = Pool.map p 20 (fun i -> i * i) in
+      Alcotest.(check (array int)) "ordered results"
+        (Array.init 20 (fun i -> i * i))
+        r;
+      Alcotest.(check (array int)) "empty map" [||] (Pool.map p 0 (fun i -> i)))
+
+let test_pool_workers_deterministic () =
+  (* The same seeded trial function must give bit-identical results at
+     any worker count. *)
+  let trial rng = List.init 5 (fun _ -> Bprc_rng.Splitmix.int rng 1000) in
+  let run workers =
+    with_pool workers (fun p ->
+        let rng = Bprc_rng.Splitmix.create ~seed:99 in
+        Pool.map_seeded p ~rng ~trials:37 trial)
+  in
+  let one = run 1 in
+  Alcotest.(check bool) "2 workers = sequential" true (run 2 = one);
+  Alcotest.(check bool) "5 workers = sequential" true (run 5 = one)
+
+let test_pool_map_seeded_preserves_rng () =
+  with_pool 2 (fun p ->
+      let rng = Bprc_rng.Splitmix.create ~seed:7 in
+      let probe = Bprc_rng.Splitmix.copy rng in
+      ignore (Pool.map_seeded p ~rng ~trials:10 (fun r -> Bprc_rng.Splitmix.int r 10));
+      Alcotest.(check int64) "caller rng not advanced"
+        (Bprc_rng.Splitmix.next64 probe)
+        (Bprc_rng.Splitmix.next64 rng))
+
+let test_pool_exception_propagates () =
+  with_pool 3 (fun p ->
+      Alcotest.check_raises "trial exception surfaces" (Failure "trial 7")
+        (fun () ->
+          ignore
+            (Pool.map p 16 (fun i ->
+                 if i = 7 then failwith "trial 7" else i)));
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (array int)) "still usable"
+        (Array.init 4 (fun i -> i))
+        (Pool.map p 4 (fun i -> i)))
+
+let test_pool_nested_map_rejected () =
+  with_pool 2 (fun p ->
+      Alcotest.check_raises "nested map"
+        (Invalid_argument "Pool.map: nested map on the same pool") (fun () ->
+          ignore (Pool.map p 2 (fun _ -> Pool.map p 2 (fun i -> i)))))
+
+let test_pool_experiment_matches_sequential () =
+  (* End to end: an experiment over a multi-worker pool equals the
+     1-worker run row for row. *)
+  match Experiments.by_id "E2" with
+  | None -> Alcotest.fail "E2 missing"
+  | Some fn ->
+    let seq = with_pool 1 (fun p -> fn ~quick:true ~pool:p ()) in
+    let par = with_pool 4 (fun p -> fn ~quick:true ~pool:p ()) in
+    Alcotest.(check bool) "identical tables" true
+      (seq.Table.rows = par.Table.rows && seq.Table.metrics = par.Table.metrics)
 
 (* ------------------------------------------------------------------ *)
 (* Run                                                                 *)
@@ -221,6 +395,9 @@ let suite =
     Alcotest.test_case "stats: mean" `Quick test_mean;
     Alcotest.test_case "stats: stddev" `Quick test_stddev;
     Alcotest.test_case "stats: percentile" `Quick test_percentile;
+    Alcotest.test_case "stats: percentile singleton" `Quick
+      test_percentile_single;
+    Alcotest.test_case "stats: summarize" `Quick test_summarize;
     Alcotest.test_case "stats: loglog slope" `Quick test_loglog_slope;
     Alcotest.test_case "stats: linear slope" `Quick test_linear_slope;
     Alcotest.test_case "stats: ci95" `Quick test_ci95_shrinks;
@@ -231,6 +408,22 @@ let suite =
     Alcotest.test_case "table: csv" `Quick test_table_csv;
     Alcotest.test_case "table: csv escaping" `Quick test_table_csv_escaping;
     Alcotest.test_case "table: float formatting" `Quick test_fmt_float;
+    Alcotest.test_case "table: to_json" `Quick test_table_to_json;
+    Alcotest.test_case "json: string escaping" `Quick test_json_string_escaping;
+    Alcotest.test_case "report: json rendering" `Quick test_report_json;
+    Alcotest.test_case "report: default filename" `Quick
+      test_report_default_filename;
+    Alcotest.test_case "pool: map order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool: deterministic across workers" `Quick
+      test_pool_workers_deterministic;
+    Alcotest.test_case "pool: map_seeded preserves rng" `Quick
+      test_pool_map_seeded_preserves_rng;
+    Alcotest.test_case "pool: exceptions propagate" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "pool: nested map rejected" `Quick
+      test_pool_nested_map_rejected;
+    Alcotest.test_case "pool: experiment matches sequential" `Slow
+      test_pool_experiment_matches_sequential;
     Alcotest.test_case "run: input patterns" `Quick test_inputs_of_pattern;
     Alcotest.test_case "run: coin deterministic" `Quick
       test_coin_once_deterministic;

@@ -42,6 +42,54 @@ let test_int_covers_all_residues () =
   done;
   Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
 
+(* Regression: bounds just above 2^30 take the wide (62-bit) rejection
+   path; the acceptance limit there must be the largest multiple of
+   [bound] below 2^62 — computed from (2^62 - 1) only because 2^62
+   itself doesn't fit in an OCaml int. *)
+let test_int_wide_bound () =
+  let bound = (1 lsl 30) + 1 in
+  let rng = Splitmix.create ~seed:123 in
+  let shadow = Splitmix.copy rng in
+  let mask = (1 lsl 62) - 1 in
+  (* bound does not divide 2^62, so floor((2^62-1)/bound) * bound is the
+     correct acceptance limit and this reference replays the stream. *)
+  let limit = mask / bound * bound in
+  let rec ref_draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (Splitmix.next64 shadow) 2) land mask in
+    if r < limit then r mod bound else ref_draw ()
+  in
+  for _ = 1 to 2_000 do
+    let x = Splitmix.int rng bound in
+    if x < 0 || x >= bound then Alcotest.fail "wide bound out of range";
+    Alcotest.(check int) "matches reference rejection sampler" (ref_draw ()) x
+  done
+
+(* Power-of-two wide bounds divide 2^62 exactly: every draw must be
+   accepted (the buggy limit rejected the top [bound] values, silently
+   consuming extra stream and skewing replay). *)
+let test_int_wide_pow2_no_rejection () =
+  let bound = 1 lsl 31 in
+  let rng = Splitmix.create ~seed:77 in
+  let shadow = Splitmix.copy rng in
+  let mask = (1 lsl 62) - 1 in
+  for _ = 1 to 2_000 do
+    let x = Splitmix.int rng bound in
+    let r =
+      Int64.to_int (Int64.shift_right_logical (Splitmix.next64 shadow) 2)
+      land mask
+    in
+    Alcotest.(check int) "one stream step per call" (r mod bound) x
+  done
+
+let prop_int_wide_in_bounds =
+  QCheck.Test.make ~name:"Splitmix.int wide bounds stay in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 (1 lsl 32)))
+    (fun (seed, extra) ->
+      let bound = (1 lsl 30) + extra in
+      let rng = Splitmix.create ~seed in
+      let x = Splitmix.int rng bound in
+      x >= 0 && x < bound)
+
 let test_bool_balanced () =
   let rng = Splitmix.create ~seed:99 in
   let heads = ref 0 in
@@ -144,6 +192,9 @@ let suite =
     Alcotest.test_case "int range" `Quick test_int_range;
     Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
     Alcotest.test_case "int covers residues" `Quick test_int_covers_all_residues;
+    Alcotest.test_case "int wide bound" `Quick test_int_wide_bound;
+    Alcotest.test_case "int wide pow2 accepts all" `Quick
+      test_int_wide_pow2_no_rejection;
     Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
     Alcotest.test_case "float range" `Quick test_float_range;
     Alcotest.test_case "fork independence" `Quick test_fork_independent;
@@ -153,5 +204,6 @@ let suite =
     Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
     Alcotest.test_case "uniform_pick empty" `Quick test_uniform_pick_empty;
     QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_int_wide_in_bounds;
     QCheck_alcotest.to_alcotest prop_fork_deterministic;
   ]

@@ -349,9 +349,55 @@ let test_counters_forbidden_band () =
     (Invalid_argument "Edge_counters.to_graph: undecodable state") (fun () ->
       ignore (Bprc_strip.Edge_counters.to_graph c))
 
+let test_counters_wrapped_decode () =
+  (* Pointer differences are cyclic: a pair whose pointers have wrapped
+     past 3K decodes identically to the unwrapped encoding. *)
+  let k = 2 in
+  let m = 3 * k in
+  (* 0 leads 1 by 2, encoded with 1's pointer numerically ABOVE 0's:
+     a = (1 - 5) mod 6 = 2. *)
+  let c = Bprc_strip.Edge_counters.of_rows ~k [| [| 0; 1 |]; [| 5; 0 |] |] in
+  Alcotest.(check int) "wrapped difference" 2
+    (Bprc_strip.Edge_counters.decode_pair c 0 1);
+  Alcotest.(check int) "reverse direction" (m - 2)
+    (Bprc_strip.Edge_counters.decode_pair c 1 0);
+  Alcotest.(check bool) "valid" true (Bprc_strip.Edge_counters.valid c);
+  let g = Bprc_strip.Edge_counters.to_graph c in
+  Alcotest.(check int) "decoded weight" 2
+    (Bprc_strip.Distance_graph.weight g 0 1);
+  Alcotest.(check bool) "no reverse edge" false
+    (Bprc_strip.Distance_graph.edge g 1 0)
+
+let test_counters_translation_invariance () =
+  (* decode_pair and valid depend only on the cyclic difference of the
+     two pointers: shifting both by any constant mod 3K is invisible. *)
+  let k = 2 in
+  let m = 3 * k in
+  for e01 = 0 to m - 1 do
+    for e10 = 0 to m - 1 do
+      let mk a b =
+        Bprc_strip.Edge_counters.of_rows ~k [| [| 0; a |]; [| b; 0 |] |]
+      in
+      let base = mk e01 e10 in
+      let a = Bprc_strip.Edge_counters.decode_pair base 0 1 in
+      for shift = 1 to m - 1 do
+        let c = mk ((e01 + shift) mod m) ((e10 + shift) mod m) in
+        Alcotest.(check int) "decode is shift-invariant" a
+          (Bprc_strip.Edge_counters.decode_pair c 0 1);
+        Alcotest.(check bool) "validity is shift-invariant"
+          (Bprc_strip.Edge_counters.valid base)
+          (Bprc_strip.Edge_counters.valid c)
+      done
+    done
+  done
+
 let suite =
   suite
   @ [
       Alcotest.test_case "counters: forbidden band" `Quick
         test_counters_forbidden_band;
+      Alcotest.test_case "counters: wrapped decode" `Quick
+        test_counters_wrapped_decode;
+      Alcotest.test_case "counters: decode translation-invariant" `Quick
+        test_counters_translation_invariance;
     ]

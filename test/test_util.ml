@@ -52,6 +52,45 @@ let test_clear () =
   Vec.push v 7;
   Alcotest.(check (list int)) "reusable" [ 7 ] (Vec.to_list v)
 
+(* Space-leak regressions: vacated slots must not pin popped/cleared
+   elements.  Weak pointers observe whether the GC can reclaim them. *)
+let weak_of x =
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some x);
+  w
+
+let test_pop_releases () =
+  let v = Vec.create () in
+  Vec.push v (ref 1);
+  Vec.push v (ref 2);
+  let w = weak_of (Vec.get v 1) in
+  ignore (Vec.pop v);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped element reclaimed" false (Weak.check w 0);
+  Alcotest.(check int) "survivor intact" 1 !(Vec.get v 0)
+
+let test_pop_to_empty_releases () =
+  let v = Vec.create () in
+  Vec.push v (ref 42);
+  let w = weak_of (Vec.get v 0) in
+  ignore (Vec.pop v);
+  Gc.full_major ();
+  Alcotest.(check bool) "last element reclaimed" false (Weak.check w 0);
+  Vec.push v (ref 7);
+  Alcotest.(check int) "reusable after emptying" 7 !(Vec.get v 0)
+
+let test_clear_releases () =
+  let v = Vec.create () in
+  for i = 0 to 9 do
+    Vec.push v (ref i)
+  done;
+  let w0 = weak_of (Vec.get v 0) in
+  let w9 = weak_of (Vec.get v 9) in
+  Vec.clear v;
+  Gc.full_major ();
+  Alcotest.(check bool) "first element reclaimed" false (Weak.check w0 0);
+  Alcotest.(check bool) "last element reclaimed" false (Weak.check w9 0)
+
 let test_to_array () =
   let v = Vec.of_list [ 5; 6; 7 ] in
   Alcotest.(check (array int)) "to_array" [| 5; 6; 7 |] (Vec.to_array v)
@@ -79,6 +118,9 @@ let suite =
     Alcotest.test_case "pop/last" `Quick test_pop_last;
     Alcotest.test_case "iter/fold/exists" `Quick test_iter_fold;
     Alcotest.test_case "clear and reuse" `Quick test_clear;
+    Alcotest.test_case "pop releases element" `Quick test_pop_releases;
+    Alcotest.test_case "pop to empty releases" `Quick test_pop_to_empty_releases;
+    Alcotest.test_case "clear releases elements" `Quick test_clear_releases;
     Alcotest.test_case "to_array" `Quick test_to_array;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_push_length;
