@@ -1,11 +1,20 @@
 (* Command-line interface to the bounded polynomial randomized
-   consensus library: single runs, shared-coin runs, and the full
-   experiment suite. *)
+   consensus library: single runs, shared-coin runs, the full
+   experiment suite, and the fault-injection hunt/replay loop. *)
 
 open Cmdliner
 
+(* Shared by every randomness-consuming subcommand (run / coin / multi
+   / trace / hunt); [experiment] derives its seeds from fixed
+   per-experiment roots instead, so its tables are comparable across
+   invocations. *)
 let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Random seed (default 1).  Every run is deterministic in it, \
+           independent of $(b,--workers).")
 
 let n_arg =
   Arg.(value & opt int 4 & info [ "n"; "procs" ] ~docv:"N" ~doc:"Number of processes.")
@@ -289,12 +298,224 @@ let trace_cmd =
        ~doc:"Run a consensus prefix with trace recording and print access              statistics.")
     Term.(const action $ n_arg $ seed_arg $ sched_arg $ steps_arg)
 
+(* --- hunt ------------------------------------------------------------- *)
+
+(* Exit codes (documented in README "Exit codes"): 0 = all properties
+   held, 1 = a property violation was found/reproduced, 124 = the
+   wall-clock budget ran out first. *)
+let exit_ok = 0
+let exit_violation = 1
+let exit_budget = 124
+
+let scenario_arg =
+  let scenario_conv =
+    Arg.conv
+      ( (fun s ->
+          match Bprc_faults.Scenario.find s with
+          | Some sc -> Ok sc
+          | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown scenario %s (valid: %s)" s
+                    (String.concat ", " Bprc_faults.Scenario.names)))),
+        fun ppf (s : Bprc_faults.Scenario.t) ->
+          Fmt.string ppf s.Bprc_faults.Scenario.name )
+  in
+  Arg.(
+    value
+    & opt scenario_conv Bprc_faults.Scenario.consensus
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Hunt scenario: %s.  See DESIGN.md \"Fault model\"."
+             (String.concat ", " Bprc_faults.Scenario.names)))
+
+let workers_opt_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Fan trials over $(docv) domains (default: one per core, \
+           overridable via BPRC_WORKERS).  Results are identical at any \
+           worker count.")
+
+let pool_of_workers workers =
+  match workers with
+  | Some w when w < 1 ->
+    Fmt.epr "--workers expects a positive integer@.";
+    exit 2
+  | Some w -> Bprc_harness.Pool.create ~workers:w ()
+  | None -> Bprc_harness.Pool.default ()
+
+let hunt_cmd =
+  let trials_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "trials" ] ~docv:"N" ~doc:"Fault-plan trials to attempt.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-s" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget; exit 124 when it runs out first.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "hunt-failure.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the shrunk counterexample script.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit a machine-readable JSON summary on stdout.")
+  in
+  let action scenario trials seed n budget_s out json workers =
+    let pool = pool_of_workers workers in
+    let map f idxs =
+      let arr = Array.of_list idxs in
+      Bprc_harness.Pool.map pool (Array.length arr) (fun j -> f arr.(j))
+      |> Array.to_list
+    in
+    let outcome =
+      Bprc_faults.Hunt.run ?budget_s ~map ~scenario ~trials ~seed ~n ()
+    in
+    let summary fields =
+      if json then
+        print_endline
+          (Bprc_util.Json.to_string
+             (Bprc_util.Json.Obj
+                (("scenario",
+                  Bprc_util.Json.Str scenario.Bprc_faults.Scenario.name)
+                 :: ("seed", Bprc_util.Json.Int seed)
+                 :: fields)))
+    in
+    match outcome with
+    | Bprc_faults.Hunt.No_failure { trials_run } ->
+      if not json then
+        Fmt.pr "hunt: %d trials of %s clean (seed %d)@." trials_run
+          scenario.Bprc_faults.Scenario.name seed;
+      summary
+        [
+          ("outcome", Bprc_util.Json.Str "no_failure");
+          ("trials_run", Bprc_util.Json.Int trials_run);
+        ];
+      exit exit_ok
+    | Bprc_faults.Hunt.Budget_exhausted { trials_run } ->
+      if not json then
+        Fmt.pr "hunt: budget exhausted after %d clean trials@." trials_run;
+      summary
+        [
+          ("outcome", Bprc_util.Json.Str "budget_exhausted");
+          ("trials_run", Bprc_util.Json.Int trials_run);
+        ];
+      exit exit_budget
+    | Bprc_faults.Hunt.Found f ->
+      let s = f.Bprc_faults.Hunt.shrunk in
+      Bprc_faults.Script.save ~path:out s;
+      if not json then begin
+        Fmt.pr "hunt: FAILURE at trial %d: %s@." f.Bprc_faults.Hunt.trial
+          f.Bprc_faults.Hunt.script.Bprc_faults.Script.failure;
+        Fmt.pr "  plan    : %a@." Bprc_faults.Fault_plan.pp
+          s.Bprc_faults.Script.plan;
+        Fmt.pr "  shrunk  : %d->%d faults, %d->%d choices, %d->%d flips@."
+          (List.length f.Bprc_faults.Hunt.script.Bprc_faults.Script.plan)
+          (List.length s.Bprc_faults.Script.plan)
+          (List.length f.Bprc_faults.Hunt.script.Bprc_faults.Script.choices)
+          (List.length s.Bprc_faults.Script.choices)
+          (List.length f.Bprc_faults.Hunt.script.Bprc_faults.Script.flips)
+          (List.length s.Bprc_faults.Script.flips);
+        Fmt.pr "  replay  : %s@."
+          (if f.Bprc_faults.Hunt.replay_verified then "bit-identical"
+           else "NOT bit-identical (bug in the recorder?)");
+        Fmt.pr "  script  : %s@." out;
+        Fmt.pr "  repro   : bprc replay %s@." out
+      end;
+      summary
+        [
+          ("outcome", Bprc_util.Json.Str "failure");
+          ("trial", Bprc_util.Json.Int f.Bprc_faults.Hunt.trial);
+          ("failure", Bprc_util.Json.Str s.Bprc_faults.Script.failure);
+          ("script", Bprc_util.Json.Str out);
+          ( "replay_verified",
+            Bprc_util.Json.Bool f.Bprc_faults.Hunt.replay_verified );
+          ("repro", Bprc_util.Json.Str ("bprc replay " ^ out));
+        ];
+      exit exit_violation
+  in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:
+         "Fuzz a scenario with random fault plans; on failure, write a \
+          shrunk replayable counterexample script.  Exit codes: 0 clean, 1 \
+          failure found, 124 budget exhausted.")
+    Term.(
+      const action $ scenario_arg $ trials_arg $ seed_arg $ n_arg $ budget_arg
+      $ out_arg $ json_arg $ workers_opt_arg)
+
+(* --- replay ----------------------------------------------------------- *)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCRIPT" ~doc:"Hunt script (JSON) to re-execute.")
+  in
+  let action file =
+    match Bprc_faults.Script.load ~path:file with
+    | Error e ->
+      Fmt.epr "replay: %s@." e;
+      exit 2
+    | Ok s -> (
+      match Bprc_faults.Scenario.find s.Bprc_faults.Script.scenario with
+      | None ->
+        Fmt.epr "replay: script names unknown scenario %S@."
+          s.Bprc_faults.Script.scenario;
+        exit 2
+      | Some scenario ->
+        let r = Bprc_faults.Hunt.replay_script ~scenario s in
+        Fmt.pr "scenario : %s  (n=%d seed=%d)@." s.Bprc_faults.Script.scenario
+          s.Bprc_faults.Script.n s.Bprc_faults.Script.seed;
+        Fmt.pr "plan     : %a@." Bprc_faults.Fault_plan.pp
+          s.Bprc_faults.Script.plan;
+        (match r.Bprc_faults.Scenario.failure with
+        | Some f ->
+          Fmt.pr "failure  : %s@." f;
+          Fmt.pr "expected : %s@." s.Bprc_faults.Script.failure;
+          Fmt.pr "clock    : %d (script: %d)%s@." r.Bprc_faults.Scenario.clock
+            s.Bprc_faults.Script.clock
+            (if
+               r.Bprc_faults.Scenario.clock = s.Bprc_faults.Script.clock
+               && Some s.Bprc_faults.Script.failure
+                  = r.Bprc_faults.Scenario.failure
+             then "  [bit-identical]"
+             else "");
+          exit exit_violation
+        | None ->
+          Fmt.pr "failure  : none reproduced (script expected: %s)@."
+            s.Bprc_faults.Script.failure;
+          exit exit_ok))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a hunt counterexample script deterministically.  Exit \
+          codes: 1 when the violation reproduces, 0 when the run is clean.")
+    Term.(const action $ file_arg)
+
 let main =
   Cmd.group
     (Cmd.info "bprc" ~version:"1.0.0"
        ~doc:
          "Bounded polynomial randomized consensus (Attiya-Dolev-Shavit, PODC \
-          1989): simulator, baselines, and experiment suite.")
-    [ run_cmd; coin_cmd; experiment_cmd; multi_cmd; trace_cmd ]
+          1989): simulator, baselines, experiment suite, and fault-injection \
+          hunting.")
+    [ run_cmd; coin_cmd; experiment_cmd; multi_cmd; trace_cmd; hunt_cmd;
+      replay_cmd ]
 
 let () = exit (Cmd.eval main)

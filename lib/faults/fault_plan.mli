@@ -1,0 +1,49 @@
+(** Declarative, serializable fault plans.
+
+    A plan is a list of faults to inject into one run.  Process faults
+    ([Crash]/[Stall]) and register weakening apply to the shared-memory
+    simulator {!Bprc_runtime.Sim}; link faults ([Drop]/[Duplicate]/
+    [Delay]) apply to {!Bprc_netsim.Netsim} runs.  Plans round-trip
+    through JSON (see {!to_json}) so counterexample scripts can be
+    saved, replayed and shrunk. *)
+
+type semantics =
+  | Safe
+      (** overlapped reads return an arbitrary previously-written value
+          (or the initial value) — see {!Inject.weaken_runtime} for why
+          the domain is approximated by the write history *)
+  | Regular
+      (** overlapped reads return the last committed or some
+          overlapping write's value *)
+
+type fault =
+  | Crash of { pid : int; at_step : int }
+      (** crash [pid] once it has taken [at_step] of {e its own} steps *)
+  | Stall of { pid : int; at_step : int; steps : int }
+      (** at its [at_step]-th own step, delay [pid] for [steps] global
+          steps (see {!Bprc_runtime.Sim.stall}) *)
+  | Weaken of { index : int; semantics : semantics }
+      (** downgrade the [index]-th register (in allocation order;
+          [-1] = every register) from atomic to the given semantics *)
+  | Drop of { nth : int }  (** lose the [nth] transmission of the run *)
+  | Duplicate of { nth : int }  (** deliver it twice *)
+  | Delay of { nth : int; by : int }  (** hold it for [by] events *)
+
+type t = fault list
+
+val weaken_target : t -> index:int -> semantics option
+(** The semantics the plan assigns to register [index], if weakened
+    (last matching fault wins; a [-1] fault matches every index). *)
+
+val crash_count : t -> int
+val has_link_fault : t -> bool
+
+val liveness_threatening : t -> bool
+(** [true] when the plan contains [Drop] or [Duplicate] faults, which
+    may legitimately destroy liveness of quorum protocols (lost
+    acknowledgements / premature termination); scenarios then check
+    safety only. *)
+
+val to_json : t -> Bprc_util.Json.t
+val of_json : Bprc_util.Json.t -> (t, string) result
+val pp : Format.formatter -> t -> unit

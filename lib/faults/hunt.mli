@@ -1,0 +1,45 @@
+(** The fuzz loop: draw fault plans, execute trials, and on the first
+    failure capture, verify and shrink a counterexample script.
+
+    Trial [i] is a pure function of the hunt seed and [i] (plan and
+    simulator seed are derived from [Splitmix.fork root i]), and
+    batches are scanned in order with the lowest failing index winning,
+    so the outcome — including which counterexample is found — is
+    deterministic in [seed] and independent of how [map] schedules the
+    probes ([--workers] cannot change the result).
+
+    Parallelism is dependency-injected: [map] receives the probe
+    function and a batch of trial indices and must return results in
+    input order.  The CLI passes a {!Bprc_harness.Pool}-backed map; the
+    default runs sequentially. *)
+
+type found = {
+  script : Script.t;  (** the failing run, as recorded *)
+  shrunk : Script.t;  (** minimized; never longer, still failing *)
+  trial : int;
+  replay_verified : bool;
+      (** the captured script replayed to the identical failure string
+          and final clock (bit-identity check) *)
+}
+
+type outcome =
+  | No_failure of { trials_run : int }
+  | Found of found
+  | Budget_exhausted of { trials_run : int }
+      (** the wall-clock budget ran out between batches *)
+
+val replay_script : scenario:Scenario.t -> Script.t -> Scenario.exec_result
+(** Re-execute a script under its scenario (deterministic). *)
+
+val run :
+  ?budget_s:float ->
+  ?batch:int ->
+  ?map:((int -> string option) -> int list -> string option list) ->
+  scenario:Scenario.t ->
+  trials:int ->
+  seed:int ->
+  n:int ->
+  unit ->
+  outcome
+(** [batch] (default 64) is the fan-out unit; the budget is checked
+    between batches, so a budget overshoot is at most one batch. *)

@@ -1,0 +1,45 @@
+(** Applying a {!Fault_plan} to the two simulators.
+
+    Three independent mechanisms:
+
+    - {!weaken_runtime} wraps a {!Bprc_runtime.Runtime_intf.S} so that
+      plan-targeted registers behave as regular or safe registers
+      instead of atomic ones (registers are identified by allocation
+      order, which is deterministic for a given algorithm and [n]);
+    - {!driver}/{!fire}/{!drive} fire [Crash] and [Stall] faults when
+      the targeted process reaches its trigger step count;
+    - {!net_hook} compiles the plan's link faults into a
+      {!Bprc_netsim.Netsim.Make.set_fault_hook} callback. *)
+
+open Bprc_runtime
+
+val weaken_runtime :
+  (module Runtime_intf.S) -> plan:Fault_plan.t -> (module Runtime_intf.S)
+(** Returns the runtime unchanged when the plan has no [Weaken] fault.
+    Otherwise every register allocation consults the plan: weakened
+    registers get two-step reads and writes (so operations genuinely
+    overlap) whose overlapped outcomes follow the chosen semantics,
+    resolved through the base runtime's [flip] (so replay and the
+    explorer stay deterministic).  [Safe] approximates "arbitrary
+    domain value" by "any value ever written, or the initial value" —
+    the domain of a polymorphic register cannot be enumerated.
+    [peek]/[poke] bypass weakening (checker-only). *)
+
+type driver
+(** Mutable firing state: each process fault fires at most once. *)
+
+val driver : n:int -> Fault_plan.t -> driver
+(** Faults naming pids outside [0, n) are ignored. *)
+
+val fire : driver -> Sim.t -> unit
+(** Fire every due fault: a [Crash {pid; at_step}]/[Stall {pid; ...}]
+    is due once [Sim.steps_of sim pid >= at_step].  Call between
+    steps. *)
+
+val drive : Sim.t -> driver:driver -> max_steps:int -> bool
+(** Step the simulator to completion, firing due faults before every
+    step.  Returns [false] if [max_steps] was reached first. *)
+
+val net_hook :
+  Fault_plan.t -> nth:int -> src:int -> dst:int -> Bprc_netsim.Netsim.fault_action
+(** Link-fault lookup keyed on the global send ordinal. *)

@@ -1,0 +1,25 @@
+open Bprc_runtime
+
+type t = { rec_choices : int Bprc_util.Vec.t; rec_flips : bool Bprc_util.Vec.t }
+
+let create () =
+  { rec_choices = Bprc_util.Vec.create (); rec_flips = Bprc_util.Vec.create () }
+
+let adversary t (base : Adversary.t) =
+  Adversary.make ~name:("recorded:" ^ base.Adversary.name)
+    (fun (ctx : Adversary.ctx) ->
+      let pid = base.Adversary.choose ctx in
+      (* Store the position of the chosen pid within the runnable
+         array — the representation Adversary.scripted consumes — so a
+         replayed run makes the same choice even though pid sets match
+         positionally rather than by value. *)
+      let idx = ref 0 in
+      Array.iteri (fun i p -> if p = pid then idx := i) ctx.Adversary.runnable;
+      Bprc_util.Vec.push t.rec_choices !idx;
+      pid)
+
+let attach t sim =
+  Sim.set_flip_observer sim (fun ~pid:_ b -> Bprc_util.Vec.push t.rec_flips b)
+
+let choices t = Bprc_util.Vec.to_list t.rec_choices
+let flips t = Bprc_util.Vec.to_list t.rec_flips

@@ -1,0 +1,23 @@
+(** Run-script recorder: captures the adversary's scheduling choices
+    and every coin flip of a {!Bprc_runtime.Sim} execution, without
+    perturbing it.
+
+    Wrap the run's adversary with {!adversary} and call {!attach} on
+    the simulator before running; afterwards {!choices} and {!flips}
+    are the exact inputs {!Replay} needs to re-execute the run
+    bit-identically. *)
+
+type t
+
+val create : unit -> t
+
+val adversary : t -> Bprc_runtime.Adversary.t -> Bprc_runtime.Adversary.t
+(** [adversary t base] chooses exactly as [base] does, additionally
+    recording each choice as an index into the runnable array (the
+    format {!Bprc_runtime.Adversary.scripted} consumes). *)
+
+val attach : t -> Bprc_runtime.Sim.t -> unit
+(** Install a flip observer recording every coin flip in draw order. *)
+
+val choices : t -> int list
+val flips : t -> bool list

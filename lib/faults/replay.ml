@@ -1,0 +1,16 @@
+open Bprc_runtime
+
+let adversary ~choices =
+  Adversary.scripted ~choices ~fallback:(Adversary.random ()) ()
+
+let attach ~flips ~seed sim =
+  let cursor = ref flips in
+  (* Deterministic fallback for flips past the recorded list (a shrunk
+     script's flip list may be shorter than the replayed run needs). *)
+  let fb = Bprc_rng.Splitmix.create ~seed:(seed lxor 0x5eed) in
+  Sim.set_flip_source sim (fun ~pid:_ ->
+      match !cursor with
+      | b :: rest ->
+        cursor := rest;
+        b
+      | [] -> Bprc_rng.Splitmix.bool fb)

@@ -1,0 +1,16 @@
+(** Re-execution of recorded run scripts.
+
+    The counterpart of {!Record}: {!adversary} replays the recorded
+    scheduling choices (deferring to a deterministic random fallback
+    once they run out) and {!attach} feeds the recorded coin flips back
+    through {!Bprc_runtime.Sim.set_flip_source}.  With the same seed,
+    plan, choices and flips the replayed run is bit-identical to the
+    recorded one; with a shrunk (shorter) script the run is still fully
+    deterministic, which is what the shrinker's re-verification relies
+    on. *)
+
+val adversary : choices:int list -> Bprc_runtime.Adversary.t
+
+val attach : flips:bool list -> seed:int -> Bprc_runtime.Sim.t -> unit
+(** [seed] should be the run's simulator seed; it derives the
+    deterministic fallback stream used once [flips] is exhausted. *)

@@ -1,0 +1,109 @@
+module Json = Bprc_util.Json
+
+let kind = "bprc-hunt-script"
+let version = 1
+
+type t = {
+  scenario : string;
+  n : int;
+  seed : int;
+  trial : int;
+  plan : Fault_plan.t;
+  choices : int list;
+  flips : bool list;
+  failure : string;
+  clock : int;
+}
+
+let to_json s =
+  Json.Obj
+    [
+      ("kind", Json.Str kind);
+      ("version", Json.Int version);
+      ("scenario", Json.Str s.scenario);
+      ("n", Json.Int s.n);
+      ("seed", Json.Int s.seed);
+      ("trial", Json.Int s.trial);
+      ("plan", Fault_plan.to_json s.plan);
+      ("choices", Json.Arr (List.map (fun c -> Json.Int c) s.choices));
+      ("flips", Json.Arr (List.map (fun b -> Json.Bool b) s.flips));
+      ("failure", Json.Str s.failure);
+      ("clock", Json.Int s.clock);
+    ]
+
+let ( let* ) = Result.bind
+
+let field j k to_v =
+  match Option.bind (Json.member k j) to_v with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "script: missing or ill-typed field %S" k)
+
+let of_json j =
+  let* k = field j "kind" Json.to_string_opt in
+  let* () =
+    if k = kind then Ok ()
+    else Error (Printf.sprintf "script: not a hunt script (kind %S)" k)
+  in
+  let* v = field j "version" Json.to_int_opt in
+  let* () =
+    if v = version then Ok ()
+    else Error (Printf.sprintf "script: unsupported version %d" v)
+  in
+  let* scenario = field j "scenario" Json.to_string_opt in
+  let* n = field j "n" Json.to_int_opt in
+  let* seed = field j "seed" Json.to_int_opt in
+  let* trial = field j "trial" Json.to_int_opt in
+  let* plan =
+    match Json.member "plan" j with
+    | Some p -> Fault_plan.of_json p
+    | None -> Error "script: missing \"plan\""
+  in
+  let* choices =
+    let* l = field j "choices" Json.to_list_opt in
+    List.fold_left
+      (fun acc c ->
+        let* acc = acc in
+        match Json.to_int_opt c with
+        | Some i -> Ok (i :: acc)
+        | None -> Error "script: non-integer choice")
+      (Ok []) l
+    |> Result.map List.rev
+  in
+  let* flips =
+    let* l = field j "flips" Json.to_list_opt in
+    List.fold_left
+      (fun acc b ->
+        let* acc = acc in
+        match Json.to_bool_opt b with
+        | Some v -> Ok (v :: acc)
+        | None -> Error "script: non-boolean flip")
+      (Ok []) l
+    |> Result.map List.rev
+  in
+  let* failure = field j "failure" Json.to_string_opt in
+  let* clock = field j "clock" Json.to_int_opt in
+  Ok { scenario; n; seed; trial; plan; choices; flips; failure; clock }
+
+let to_string s = Json.to_string (to_json s)
+
+let of_string str =
+  let* j = Json.of_string str in
+  of_json j
+
+let save ~path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string s);
+      output_char oc '\n')
+
+let load ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents -> of_string contents

@@ -1,0 +1,35 @@
+(** Counterexample scripts: everything needed to re-execute one failing
+    run bit-identically.
+
+    A script captures the scenario name and size, the simulator seed,
+    the fault plan, and the full sequence of adversary choices and coin
+    flips recorded during the failing run (empty for message-passing
+    scenarios, which are deterministic in the seed alone).  [failure]
+    and [clock] pin down the expected outcome so a replay can be
+    checked for bit-identity.  The JSON schema is documented in
+    EXPERIMENTS.md ("Hunt scripts"). *)
+
+type t = {
+  scenario : string;
+  n : int;
+  seed : int;  (** simulator seed of the failing trial *)
+  trial : int;  (** hunt trial index that produced it *)
+  plan : Fault_plan.t;
+  choices : int list;  (** recorded adversary choices (runnable indices) *)
+  flips : bool list;  (** recorded coin flips, in draw order *)
+  failure : string;  (** the observed property violation *)
+  clock : int;  (** final simulator clock of the failing run *)
+}
+
+val kind : string
+(** The JSON "kind" discriminator, ["bprc-hunt-script"]. *)
+
+val version : int
+
+val to_json : t -> Bprc_util.Json.t
+val of_json : Bprc_util.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result

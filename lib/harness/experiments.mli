@@ -66,6 +66,16 @@ val e14_network_consensus : ?quick:bool -> ?pool:Pool.t -> unit -> Table.t
 (** The protocol over ABD quorum-replicated registers on the
     message-passing simulator: message and event complexity vs n. *)
 
+val e15_crash_tolerance : ?quick:bool -> ?pool:Pool.t -> unit -> Table.t
+(** Fault injection: decide latency and correctness of ADS89 as up to
+    ⌊(n-1)/2⌋ processes crash mid-run (must stay clean — wait-freedom
+    tolerates any number of crash failures). *)
+
+val e16_weakening : ?quick:bool -> ?pool:Pool.t -> unit -> Table.t
+(** Fault injection: the protocol over registers downgraded to
+    regular/safe semantics via {!Bprc_faults.Inject.weaken_runtime} —
+    measures how the atomicity assumption's failure manifests. *)
+
 val all : ?quick:bool -> ?pool:Pool.t -> unit -> Table.t list
 val by_id : string -> (?quick:bool -> ?pool:Pool.t -> unit -> Table.t) option
 val ids : string list

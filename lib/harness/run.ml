@@ -159,7 +159,7 @@ type consensus_run = {
   spec : (unit, string) result;
 }
 
-let drive sim ~max_steps ~crash_at =
+let drive sim ~max_steps ~crash_at ~fault_driver =
   let pending = ref (List.sort compare crash_at) in
   let rec go () =
     (match !pending with
@@ -167,6 +167,7 @@ let drive sim ~max_steps ~crash_at =
       Sim.crash sim pid;
       pending := rest
     | _ -> ());
+    Bprc_faults.Inject.fire fault_driver sim;
     if Sim.clock sim >= max_steps then false
     else if Sim.step sim then go ()
     else true
@@ -186,24 +187,26 @@ let probe_adversary ~n ~sched ~probe =
   | s -> plain_adversary s
 
 let consensus_once ?(params = Bprc_core.Params.default)
-    ?(max_steps = 20_000_000) ?(sched = Random_sched) ?(crash_at = []) ~algo
-    ~pattern ~n ~seed () =
+    ?(max_steps = 20_000_000) ?(sched = Random_sched) ?(crash_at = [])
+    ?(faults = []) ~algo ~pattern ~n ~seed () =
   let inputs = inputs_of_pattern pattern ~n ~seed in
   let slot = ref (plain_adversary Random_sched) in
   let adversary =
     Adversary.make ~name:"dispatch" (fun ctx -> !slot.Adversary.choose ctx)
   in
   let sim = Sim.create ~seed ~max_steps ~n ~adversary () in
+  let fault_driver = Bprc_faults.Inject.driver ~n faults in
+  let runtime = Bprc_faults.Inject.weaken_runtime (Sim.runtime sim) ~plan:faults in
   match algo with
   | Ads mode ->
-    let module C = Bprc_core.Ads89.Make ((val Sim.runtime sim)) in
+    let module C = Bprc_core.Ads89.Make ((val runtime)) in
     let t = C.create ~params ~coin_mode:mode ~oracle_seed:seed () in
     slot := probe_adversary ~n ~sched ~probe:(fun () -> C.coin_probe t);
     let handles =
       Array.init n (fun i ->
           Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
     in
-    let completed = drive sim ~max_steps ~crash_at in
+    let completed = drive sim ~max_steps ~crash_at ~fault_driver in
     let decisions = Array.map Sim.result handles in
     let st = C.stats t in
     {
@@ -216,14 +219,14 @@ let consensus_once ?(params = Bprc_core.Params.default)
       spec = Bprc_core.Spec.check ~inputs ~decisions;
     }
   | Ah ->
-    let module C = Bprc_core.Ah88.Make ((val Sim.runtime sim)) in
+    let module C = Bprc_core.Ah88.Make ((val runtime)) in
     let t = C.create ~k:params.Bprc_core.Params.k ~delta:params.Bprc_core.Params.delta () in
     slot := probe_adversary ~n ~sched ~probe:(fun () -> C.coin_probe t);
     let handles =
       Array.init n (fun i ->
           Sim.spawn sim (fun () -> C.run t ~input:inputs.(i)))
     in
-    let completed = drive sim ~max_steps ~crash_at in
+    let completed = drive sim ~max_steps ~crash_at ~fault_driver in
     let decisions = Array.map Sim.result handles in
     {
       completed;

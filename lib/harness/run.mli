@@ -68,9 +68,15 @@ val consensus_once :
   ?max_steps:int ->
   ?sched:sched ->
   ?crash_at:(int * int) list ->
+  ?faults:Bprc_faults.Fault_plan.t ->
   algo:algo ->
   pattern:pattern ->
   n:int ->
   seed:int ->
   unit ->
   consensus_run
+(** [crash_at] is a list of (global step, pid) crash points; [faults]
+    is a declarative fault plan (crash/stall faults fire on the
+    targeted process's own step count, [Weaken] faults downgrade
+    registers — see {!Bprc_faults.Inject}).  Link faults in [faults]
+    are ignored here (shared-memory run). *)

@@ -68,11 +68,11 @@ let to_csv t =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
-(* JSON — a minimal emitter so machine-readable reports need no        *)
-(* external dependency.                                                *)
+(* JSON — the shared minimal document type from Bprc_util, re-exported *)
+(* so report code keeps reading Table.Obj / Table.Str.                 *)
 (* ------------------------------------------------------------------ *)
 
-type json =
+type json = Bprc_util.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -81,58 +81,7 @@ type json =
   | Arr of json list
   | Obj of (string * json) list
 
-let buf_json_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let buf_json_float buf x =
-  (* JSON has no nan/infinity literal. *)
-  if not (Float.is_finite x) then Buffer.add_string buf "null"
-  else if Float.is_integer x && abs_float x < 1e15 then
-    Buffer.add_string buf (Printf.sprintf "%.0f" x)
-  else Buffer.add_string buf (Printf.sprintf "%.12g" x)
-
-let rec buf_json buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (string_of_bool b)
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float x -> buf_json_float buf x
-  | Str s -> buf_json_string buf s
-  | Arr xs ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i x ->
-        if i > 0 then Buffer.add_char buf ',';
-        buf_json buf x)
-      xs;
-    Buffer.add_char buf ']'
-  | Obj kvs ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        buf_json_string buf k;
-        Buffer.add_char buf ':';
-        buf_json buf v)
-      kvs;
-    Buffer.add_char buf '}'
-
-let json_to_string j =
-  let buf = Buffer.create 1024 in
-  buf_json buf j;
-  Buffer.contents buf
+let json_to_string = Bprc_util.Json.to_string
 
 let cell_json s =
   (* Numeric cells become JSON numbers so reports diff numerically. *)

@@ -22,10 +22,11 @@ val to_csv : t -> string
 
 (** {1 JSON}
 
-    A minimal JSON document type and emitter (no external dependency);
-    used by {!Report} for the [BENCH_*.json] perf-trajectory files. *)
+    The shared {!Bprc_util.Json} document type, re-exported with its
+    constructors; used by {!Report} for the [BENCH_*.json]
+    perf-trajectory files and by [Bprc_faults] for hunt scripts. *)
 
-type json =
+type json = Bprc_util.Json.t =
   | Null
   | Bool of bool
   | Int of int

@@ -205,6 +205,7 @@ let run t =
 
 let result c = !c
 let crash t id = Net.crash t.net id
+let set_fault_hook t h = Net.set_fault_hook t.net h
 let events t = Net.events t.net
 let messages_sent t = Net.messages_sent t.net
 let quorum_ops t = t.quorum_count

@@ -46,6 +46,13 @@ val crash : t -> int -> unit
 val events : t -> int
 val messages_sent : t -> int
 
+val set_fault_hook :
+  t -> (nth:int -> src:int -> dst:int -> Netsim.fault_action) -> unit
+(** Interpose link faults on the underlying network (see
+    {!Netsim.Make.set_fault_hook}).  Atomicity of the emulated
+    registers must survive any drop/duplicate/delay pattern; liveness
+    requires that quorum acknowledgements eventually get through. *)
+
 val quorum_ops : t -> int
 (** Completed quorum phases (a read performs two, query + write-back,
     as does a write). *)

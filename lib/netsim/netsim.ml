@@ -1,11 +1,18 @@
 open Effect
 open Effect.Deep
 
+type fault_action = Pass | Drop | Duplicate | Delay of int
+
 module Make (M : sig
   type msg
 end) =
 struct
-  type packet = { p_src : int; p_dst : int; p_msg : M.msg }
+  type packet = {
+    p_src : int;
+    p_dst : int;
+    p_msg : M.msg;
+    ready : int;  (** earliest clock at which this packet may be delivered *)
+  }
 
   type _ Effect.t += Net_step : unit Effect.t
   type _ Effect.t += Net_recv : (int * M.msg) Effect.t
@@ -35,6 +42,7 @@ struct
     mutable current : int;
     max_events : int;
     mutable sent : int;
+    mutable fault_hook : (nth:int -> src:int -> dst:int -> fault_action) option;
   }
 
   type 'a handle = { cell : 'a option ref }
@@ -61,7 +69,10 @@ struct
       current = -1;
       max_events;
       sent = 0;
+      fault_hook = None;
     }
+
+  let set_fault_hook t h = t.fault_hook <- Some h
 
   let start_fiber (nd : node) body =
     match_with
@@ -150,20 +161,36 @@ struct
         for i = t.n - 1 downto 0 do
           if steppable t.nodes.(i) then steppables := i :: !steppables
         done;
+        (* Packets injected with a [Delay] fault become eligible only
+           once the clock reaches their [ready] time. *)
+        let eligible = ref [] in
         let flights = Bprc_util.Vec.length t.in_flight in
-        let choices = List.length !steppables + flights in
+        for i = flights - 1 downto 0 do
+          if (Bprc_util.Vec.get t.in_flight i).ready <= t.clock then
+            eligible := i :: !eligible
+        done;
+        let n_eligible = List.length !eligible in
+        let choices = List.length !steppables + n_eligible in
         if choices = 0 then
-          if Array.for_all (fun nd -> nd.status = Finished || nd.status = Crashed)
-               t.nodes
+          if flights > 0 then begin
+            (* Only delayed packets remain: let time pass.  Each tick
+               costs one event so a huge delay cannot loop forever. *)
+            t.clock <- t.clock + 1;
+            go ()
+          end
+          else if
+            Array.for_all
+              (fun nd -> nd.status = Finished || nd.status = Crashed)
+              t.nodes
           then Completed
           else Deadlock
         else begin
           (* Uniform choice over node steps and message deliveries: fair
              with probability 1, adversarially reordering. *)
           let c = Bprc_rng.Splitmix.int t.rng choices in
-          (if c < flights then deliver t c
+          (if c < n_eligible then deliver t (List.nth !eligible c)
            else
-             let idx = c - flights in
+             let idx = c - n_eligible in
              step_node t t.nodes.(List.nth !steppables idx));
           go ()
         end
@@ -173,20 +200,38 @@ struct
 
   (* --- node-side operations ---------------------------------------- *)
 
+  (* Every transmission gets a global ordinal [nth] (counted across
+     send and broadcast alike) which the fault hook keys on; a
+     [Duplicate]d copy shares its original's ordinal and is not passed
+     through the hook again. *)
+  let push_packet t ~src ~dst m =
+    let nth = t.sent in
+    t.sent <- t.sent + 1;
+    let action =
+      match t.fault_hook with None -> Pass | Some h -> h ~nth ~src ~dst
+    in
+    let add ready =
+      Bprc_util.Vec.push t.in_flight { p_src = src; p_dst = dst; p_msg = m; ready }
+    in
+    match action with
+    | Pass -> add t.clock
+    | Drop -> ()
+    | Duplicate ->
+      add t.clock;
+      add t.clock
+    | Delay d ->
+      if d < 0 then invalid_arg "Netsim: negative fault delay";
+      add (t.clock + d)
+
   let send t ~dst m =
     if dst < 0 || dst >= t.n then invalid_arg "Netsim.send: bad destination";
-    let src = t.current in
-    t.sent <- t.sent + 1;
-    Bprc_util.Vec.push t.in_flight { p_src = src; p_dst = dst; p_msg = m };
+    push_packet t ~src:t.current ~dst m;
     try perform Net_step with Effect.Unhandled _ -> ()
 
   let broadcast t m =
     let src = t.current in
     for dst = 0 to t.n - 1 do
-      if dst <> src then begin
-        t.sent <- t.sent + 1;
-        Bprc_util.Vec.push t.in_flight { p_src = src; p_dst = dst; p_msg = m }
-      end
+      if dst <> src then push_packet t ~src ~dst m
     done;
     try perform Net_step with Effect.Unhandled _ -> ()
 

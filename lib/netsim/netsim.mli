@@ -14,7 +14,34 @@
     with the Attiya–Bar-Noy–Dolev simulation result.
 
     Like {!Bprc_runtime.Sim}, processes are effect-handler fibers and
-    every run is deterministic in the seed. *)
+    every run is deterministic in the seed.
+
+    {2 Crash semantics}
+
+    Crash-stop failures follow these rules, pinned down by tests in
+    [test/test_netsim.ml]:
+
+    - {!Make.crash} is legal at any time and idempotent.  Crashing an
+      already-[Finished] node is a no-op (its result stays available).
+    - A node crashed while blocked in {!Make.recv} never resumes; its
+      pending continuation is abandoned and its mailbox is frozen.
+    - Sending {e to} a crashed node is allowed and costs the usual
+      event; the message is silently dropped at delivery time (the
+      sender cannot tell — exactly the ambiguity quorum protocols such
+      as {!Abd} are designed around).
+    - When {e every} node is finished or crashed the run returns
+      [Completed], even if messages are still in flight (there is
+      nobody left to observe them).  [Deadlock] is reported only when
+      at least one {e live} node is blocked and no in-flight message
+      remains. *)
+
+type fault_action =
+  | Pass  (** deliver normally *)
+  | Drop  (** lose the message *)
+  | Duplicate  (** inject a second copy (same src/dst/payload) *)
+  | Delay of int  (** hold the message for that many events *)
+(** Verdict of a link-fault hook on one transmission.  With {!Pass} on
+    every message the network is reliable (the default). *)
 
 module Make (M : sig
   type msg
@@ -42,6 +69,17 @@ end) : sig
   (** Steps + deliveries executed so far. *)
 
   val messages_sent : t -> int
+
+  val set_fault_hook :
+    t -> (nth:int -> src:int -> dst:int -> fault_action) -> unit
+  (** Interpose on every transmission.  [nth] is the global send
+      ordinal (0-based, counted across [send] and [broadcast]; each
+      broadcast destination gets its own ordinal), so declarative fault
+      plans can target "the 17th message of the run" deterministically.
+      A [Duplicate]d copy keeps its original's ordinal and is not
+      passed through the hook again.  [Drop]/[Delay] model lossy/slow
+      links; protocols tolerating [f < n/2] crashes (e.g. {!Abd})
+      survive bounded instances of them. *)
 
   (* Node-side operations (only valid inside a spawned node): *)
 

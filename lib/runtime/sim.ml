@@ -17,6 +17,7 @@ type proc = {
   mutable status : status;
   mutable steps : int;
   mutable flips : int;
+  mutable stall_until : int;  (* clock value before which pid is stalled *)
   prng : Bprc_rng.Splitmix.t;
 }
 
@@ -32,14 +33,15 @@ type t = {
   adversary : Adversary.t;
   mutable next_reg_id : int;
   mutable flip_source : (pid:int -> bool) option;
+  mutable flip_observer : (pid:int -> bool -> unit) option;
 }
 
 type 'a handle = { cell : 'a option ref }
 
 type outcome = Completed | Hit_step_limit
 
-let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false) ~n
-    ~adversary () =
+let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false)
+    ?trace_capacity ~n ~adversary () =
   if n <= 0 then invalid_arg "Sim.create: n must be positive";
   let master = Bprc_rng.Splitmix.create ~seed in
   let procs =
@@ -49,6 +51,7 @@ let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false) ~n
           status = Crashed (* replaced at spawn *);
           steps = 0;
           flips = 0;
+          stall_until = 0;
           prng = Bprc_rng.Splitmix.fork master (i + 1);
         })
   in
@@ -58,12 +61,15 @@ let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false) ~n
     clock = 0;
     spawned = 0;
     rng = Bprc_rng.Splitmix.fork master 0;
-    tr = (if record_trace then Some (Trace.create ()) else None);
+    tr =
+      (if record_trace then Some (Trace.create ?capacity:trace_capacity ())
+       else None);
     max_steps;
     current = -1;
     adversary;
     next_reg_id = 0;
     flip_source = None;
+    flip_observer = None;
   }
 
 let record t pid reg_id reg_name kind =
@@ -105,6 +111,7 @@ let draw_flip t (p : proc) =
   in
   p.flips <- p.flips + 1;
   record t p.ppid (-1) "" (Trace.Flip b);
+  (match t.flip_observer with Some f -> f ~pid:p.ppid b | None -> ());
   b
 
 (* Execute one atomic step of process [pid]. *)
@@ -129,13 +136,19 @@ let step_pid t pid =
   t.current <- -1
 
 let runnable_pids t =
-  let out = ref [] in
+  let all = ref [] and live = ref [] in
   for i = t.n - 1 downto 0 do
-    match t.procs.(i).status with
-    | Not_started _ | Suspended _ | Pending_flip _ -> out := i :: !out
+    let p = t.procs.(i) in
+    match p.status with
+    | Not_started _ | Suspended _ | Pending_flip _ ->
+      all := i :: !all;
+      if p.stall_until <= t.clock then live := i :: !live
     | Running | Finished | Crashed -> ()
   done;
-  Array.of_list !out
+  (* If every runnable process is stalled, ignore the stalls: the
+     adversary must still schedule someone, and an asynchronous system
+     cannot deadlock on stalls alone. *)
+  match !live with [] -> Array.of_list !all | l -> Array.of_list l
 
 let step t =
   let runnable = runnable_pids t in
@@ -178,6 +191,11 @@ let crash t pid =
   | Finished -> ()
   | _ -> p.status <- Crashed
 
+let stall t pid ~steps =
+  if steps < 0 then invalid_arg "Sim.stall: negative duration";
+  let p = t.procs.(pid) in
+  p.stall_until <- max p.stall_until (t.clock + steps)
+
 let crashed t pid = t.procs.(pid).status = Crashed
 let finished t pid = t.procs.(pid).status = Finished
 let clock t = t.clock
@@ -185,6 +203,7 @@ let steps_of t pid = t.procs.(pid).steps
 let flips_of t pid = t.procs.(pid).flips
 let trace t = t.tr
 let set_flip_source t f = t.flip_source <- Some f
+let set_flip_observer t f = t.flip_observer <- Some f
 
 (* A yield performed outside any fiber (setup or checker code) is a
    no-op rather than an error, so register helpers can be reused for

@@ -31,12 +31,16 @@ val create :
   ?seed:int ->
   ?max_steps:int ->
   ?record_trace:bool ->
+  ?trace_capacity:int ->
   n:int ->
   adversary:Adversary.t ->
   unit ->
   t
 (** [max_steps] defaults to 10_000_000; [record_trace] defaults to
-    [false] (recording costs memory proportional to the run length). *)
+    [false] (recording costs memory proportional to the run length).
+    [trace_capacity] bounds the recorded trace to a ring of that many
+    newest events (see {!Trace.create}); ignored unless [record_trace]
+    is set. *)
 
 val runtime : t -> (module Runtime_intf.S)
 (** The shared-memory interface bound to this simulator instance.
@@ -63,6 +67,15 @@ val crash : t -> int -> unit
 (** Permanently stop a process (models a faulty process; it is simply
     never scheduled again).  Idempotent; legal at any time. *)
 
+val stall : t -> int -> steps:int -> unit
+(** [stall t pid ~steps] removes [pid] from the runnable set reported
+    to the adversary until the global clock has advanced by [steps] —
+    a bounded delay fault, weaker than {!crash}.  Exception: when every
+    runnable process is stalled, stalls are ignored for that step (the
+    adversary must schedule someone; stalls alone cannot deadlock an
+    asynchronous system).  Overlapping stalls keep the later deadline.
+    @raise Invalid_argument on negative [steps]. *)
+
 val crashed : t -> int -> bool
 val finished : t -> int -> bool
 
@@ -86,3 +99,8 @@ val set_flip_source : t -> (pid:int -> bool) -> unit
 (** Override the source of local coin flips (used by the exhaustive
     explorer and by bias-injection tests).  Default draws from the
     per-process seeded stream. *)
+
+val set_flip_observer : t -> (pid:int -> bool -> unit) -> unit
+(** Install a callback invoked after every coin flip with the flipping
+    pid and the drawn value, whatever the source.  Used by the fault
+    subsystem's recorder to capture the flip sequence of a run. *)

@@ -1,0 +1,333 @@
+open Bprc_faults
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans and scripts: JSON round-trips                           *)
+(* ------------------------------------------------------------------ *)
+
+let all_kinds_plan : Fault_plan.t =
+  [
+    Fault_plan.Crash { pid = 2; at_step = 17 };
+    Fault_plan.Stall { pid = 0; at_step = 5; steps = 300 };
+    Fault_plan.Weaken { index = -1; semantics = Fault_plan.Safe };
+    Fault_plan.Weaken { index = 3; semantics = Fault_plan.Regular };
+    Fault_plan.Drop { nth = 12 };
+    Fault_plan.Duplicate { nth = 40 };
+    Fault_plan.Delay { nth = 7; by = 25 };
+  ]
+
+let plan_testable =
+  Alcotest.testable Fault_plan.pp (fun (a : Fault_plan.t) b -> a = b)
+
+let test_plan_json_roundtrip () =
+  let j = Fault_plan.to_json all_kinds_plan in
+  (match Fault_plan.of_json j with
+  | Ok p -> Alcotest.check plan_testable "round-trip" all_kinds_plan p
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  (* Text round-trip too: through the printer/parser pair. *)
+  let s = Bprc_util.Json.to_string j in
+  match Bprc_util.Json.of_string s with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok j' -> (
+    match Fault_plan.of_json j' with
+    | Ok p -> Alcotest.check plan_testable "text round-trip" all_kinds_plan p
+    | Error e -> Alcotest.failf "decode after reparse failed: %s" e)
+
+let test_plan_json_rejects_garbage () =
+  let bad =
+    Bprc_util.Json.Arr [ Bprc_util.Json.Obj [ ("fault", Bprc_util.Json.Str "melt") ] ]
+  in
+  match Fault_plan.of_json bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown fault tag must be rejected"
+
+let test_weaken_target () =
+  let get = Fault_plan.weaken_target all_kinds_plan in
+  Alcotest.(check bool) "index 3 regular" true
+    (get ~index:3 = Some Fault_plan.Regular);
+  Alcotest.(check bool) "other indices safe via -1" true
+    (get ~index:0 = Some Fault_plan.Safe);
+  Alcotest.(check bool) "no weaken -> none" true
+    (Fault_plan.weaken_target [ Fault_plan.Drop { nth = 0 } ] ~index:0 = None);
+  Alcotest.(check int) "crash count" 1 (Fault_plan.crash_count all_kinds_plan);
+  Alcotest.(check bool) "liveness threatening" true
+    (Fault_plan.liveness_threatening all_kinds_plan);
+  Alcotest.(check bool) "delay alone is not" false
+    (Fault_plan.liveness_threatening [ Fault_plan.Delay { nth = 1; by = 2 } ])
+
+let sample_script : Script.t =
+  {
+    Script.scenario = "snapshot-unsafe";
+    n = 4;
+    seed = 123456789;
+    trial = 42;
+    plan = all_kinds_plan;
+    choices = [ 0; 2; 1; 1; 0 ];
+    flips = [ true; false; true ];
+    failure = "snapshot: P1: scan returned stale value";
+    clock = 321;
+  }
+
+let test_script_roundtrip () =
+  match Script.of_string (Script.to_string sample_script) with
+  | Ok s ->
+    Alcotest.(check bool) "script round-trips" true (s = sample_script)
+  | Error e -> Alcotest.failf "script decode failed: %s" e
+
+let test_script_save_load () =
+  let path = Filename.temp_file "bprc-script" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Script.save ~path sample_script;
+      match Script.load ~path with
+      | Ok s -> Alcotest.(check bool) "save/load identity" true (s = sample_script)
+      | Error e -> Alcotest.failf "load failed: %s" e);
+  match Script.load ~path:"/nonexistent/bprc-script.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file must return Error"
+
+let test_script_rejects_wrong_kind () =
+  match Script.of_string {|{"kind":"something-else","version":1}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong kind discriminator must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* ddmin                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ddmin_single_culprit () =
+  let input = List.init 32 (fun i -> i) in
+  let got = Shrink.ddmin ~test:(fun l -> List.mem 17 l) input in
+  Alcotest.(check (list int)) "isolates the culprit" [ 17 ] got
+
+let test_ddmin_pair () =
+  let input = List.init 20 (fun i -> i) in
+  let test l = List.mem 3 l && List.mem 15 l in
+  let got = Shrink.ddmin ~test input in
+  Alcotest.(check (list int)) "keeps exactly the pair, in order" [ 3; 15 ] got
+
+let test_ddmin_edge_cases () =
+  Alcotest.(check (list int)) "empty passing input" []
+    (Shrink.ddmin ~test:(fun _ -> true) []);
+  Alcotest.(check (list int)) "non-failing input unchanged" [ 1; 2; 3 ]
+    (Shrink.ddmin ~test:(fun l -> List.length l > 5) [ 1; 2; 3 ]);
+  let calls = ref 0 in
+  let got =
+    Shrink.ddmin
+      ~test:(fun l -> incr calls; List.length l >= 3)
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Alcotest.(check int) "any 3 elements suffice" 3 (List.length got);
+  Alcotest.(check bool) "every candidate was validated" true (!calls > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Record / replay on a live scenario                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Record a run, then replay its choices and flips: the outcome must be
+   bit-identical (same failure or lack of one, same final clock). *)
+let test_record_replay_identity () =
+  List.iter
+    (fun (scenario, plan) ->
+      let r1 =
+        scenario.Scenario.exec ~n:4 ~seed:7 ~plan ~mode:Scenario.Record
+      in
+      let r2 =
+        scenario.Scenario.exec ~n:4 ~seed:7 ~plan
+          ~mode:
+            (Scenario.Replay
+               {
+                 choices = r1.Scenario.choices;
+                 flips = r1.Scenario.flips;
+               })
+      in
+      Alcotest.(check (option string))
+        (scenario.Scenario.name ^ ": same failure")
+        r1.Scenario.failure r2.Scenario.failure;
+      Alcotest.(check int)
+        (scenario.Scenario.name ^ ": same clock")
+        r1.Scenario.clock r2.Scenario.clock)
+    [
+      (Scenario.consensus, [ Fault_plan.Crash { pid = 1; at_step = 40 } ]);
+      (Scenario.snapshot, [ Fault_plan.Stall { pid = 0; at_step = 3; steps = 80 } ]);
+      ( Scenario.snapshot_unsafe,
+        [ Fault_plan.Weaken { index = -1; semantics = Fault_plan.Safe } ] );
+    ]
+
+(* With no overlap possible (single process), weakened registers must
+   behave exactly like atomic ones. *)
+let test_weaken_no_overlap_is_atomic () =
+  let open Bprc_runtime in
+  let sim = Sim.create ~seed:1 ~n:1 ~adversary:(Adversary.round_robin ()) () in
+  let plan = [ Fault_plan.Weaken { index = -1; semantics = Fault_plan.Safe } ] in
+  let module R = (val Inject.weaken_runtime (Sim.runtime sim) ~plan) in
+  let h =
+    Sim.spawn sim (fun () ->
+        let r = R.make_reg ~name:"x" 0 in
+        R.write r 5;
+        let a = R.read r in
+        R.write r 9;
+        (a, R.read r))
+  in
+  ignore (Sim.run sim);
+  Alcotest.(check (option (pair int int)))
+    "sequential reads see latest writes" (Some (5, 9)) (Sim.result h)
+
+(* ------------------------------------------------------------------ *)
+(* The hunt: end-to-end acceptance                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The deliberately injected bug — every register weakened to safe
+   semantics under the handshake snapshot — must be found by the hunt;
+   the emitted script must replay bit-identically; the shrunk script
+   must be no longer and still failing.  Seed 1 is known to fail within
+   150 trials (trial 138). *)
+let hunt_unsafe ~map () =
+  Hunt.run ?map ~scenario:Scenario.snapshot_unsafe ~trials:150 ~seed:1 ~n:4 ()
+
+let test_hunt_finds_injected_bug () =
+  match hunt_unsafe ~map:None () with
+  | Hunt.No_failure _ -> Alcotest.fail "hunt missed the injected bug"
+  | Hunt.Budget_exhausted _ -> Alcotest.fail "no budget was set"
+  | Hunt.Found f ->
+    Alcotest.(check bool) "replay bit-identical" true f.Hunt.replay_verified;
+    let orig = f.Hunt.script and small = f.Hunt.shrunk in
+    Alcotest.(check bool) "plan not longer" true
+      (List.length small.Script.plan <= List.length orig.Script.plan);
+    Alcotest.(check bool) "choices not longer" true
+      (List.length small.Script.choices <= List.length orig.Script.choices);
+    Alcotest.(check bool) "flips not longer" true
+      (List.length small.Script.flips <= List.length orig.Script.flips);
+    (* The shrunk plan must retain the weakening — it IS the bug. *)
+    Alcotest.(check bool) "shrunk plan keeps the weakening" true
+      (Fault_plan.weaken_target small.Script.plan ~index:0 <> None);
+    (* The shrunk script still fails, exactly as it says on the tin. *)
+    let r = Hunt.replay_script ~scenario:Scenario.snapshot_unsafe small in
+    Alcotest.(check (option string))
+      "shrunk script reproduces its recorded failure"
+      (Some small.Script.failure) r.Scenario.failure;
+    Alcotest.(check int) "shrunk script reproduces its recorded clock"
+      small.Script.clock r.Scenario.clock;
+    (* And it survives a serialization round-trip before replay. *)
+    match Script.of_string (Script.to_string small) with
+    | Error e -> Alcotest.failf "shrunk script does not round-trip: %s" e
+    | Ok reloaded ->
+      let r' = Hunt.replay_script ~scenario:Scenario.snapshot_unsafe reloaded in
+      Alcotest.(check (option string)) "reload replays identically"
+        r.Scenario.failure r'.Scenario.failure
+
+(* The hunt outcome must not depend on how the probe map schedules the
+   batch: a shuffled-execution map and a Pool-backed map must both find
+   the same trial and produce byte-identical scripts. *)
+let test_hunt_worker_independent () =
+  let scripts =
+    List.map
+      (fun map ->
+        match hunt_unsafe ~map () with
+        | Hunt.Found f -> (f.Hunt.trial, Script.to_string f.Hunt.shrunk)
+        | _ -> Alcotest.fail "hunt missed the injected bug")
+      [
+        None;
+        (* Processes the batch back-to-front but returns results in
+           input order — a stand-in for arbitrary scheduling. *)
+        Some (fun f idxs -> List.rev (List.rev_map f idxs));
+        (* A real 3-domain pool, as the CLI wires in. *)
+        (let pool = Bprc_harness.Pool.create ~workers:3 () in
+         Some
+           (fun f idxs ->
+             let arr = Array.of_list idxs in
+             Bprc_harness.Pool.map pool (Array.length arr) (fun j -> f arr.(j))
+             |> Array.to_list));
+      ]
+  in
+  match scripts with
+  | (t0, s0) :: rest ->
+    List.iteri
+      (fun i (t, s) ->
+        Alcotest.(check int) (Printf.sprintf "map %d: same trial" (i + 1)) t0 t;
+        Alcotest.(check string)
+          (Printf.sprintf "map %d: identical script" (i + 1))
+          s0 s)
+      rest
+  | [] -> assert false
+
+let test_hunt_clean_scenarios () =
+  (* The expected-clean scenarios must come up clean on a modest bounded
+     hunt (this is what the CI smoke run enforces at larger scale). *)
+  List.iter
+    (fun scenario ->
+      match Hunt.run ~scenario ~trials:60 ~seed:1 ~n:4 () with
+      | Hunt.No_failure { trials_run } ->
+        Alcotest.(check int)
+          (scenario.Scenario.name ^ ": all trials ran")
+          60 trials_run
+      | Hunt.Found f ->
+        Alcotest.failf "%s: unexpected failure %S" scenario.Scenario.name
+          f.Hunt.script.Script.failure
+      | Hunt.Budget_exhausted _ -> Alcotest.fail "no budget was set")
+    [ Scenario.consensus; Scenario.snapshot; Scenario.abd ]
+
+let test_hunt_budget_exhausted () =
+  match
+    Hunt.run ~budget_s:0.0 ~scenario:Scenario.consensus ~trials:1_000 ~seed:1
+      ~n:4 ()
+  with
+  | Hunt.Budget_exhausted { trials_run } ->
+    Alcotest.(check int) "stopped before the first batch" 0 trials_run
+  | _ -> Alcotest.fail "a zero budget must exhaust immediately"
+
+let test_hunt_rejects_bad_args () =
+  Alcotest.check_raises "negative trials"
+    (Invalid_argument "Hunt.run: negative trial count") (fun () ->
+      ignore (Hunt.run ~scenario:Scenario.consensus ~trials:(-1) ~seed:1 ~n:4 ()));
+  Alcotest.check_raises "zero batch"
+    (Invalid_argument "Hunt.run: batch must be positive") (fun () ->
+      ignore
+        (Hunt.run ~batch:0 ~scenario:Scenario.consensus ~trials:1 ~seed:1 ~n:4 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Faults through the harness runner                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_consensus_once_with_faults () =
+  let r =
+    Bprc_harness.Run.consensus_once
+      ~faults:
+        [
+          Fault_plan.Crash { pid = 0; at_step = 25 };
+          Fault_plan.Stall { pid = 1; at_step = 10; steps = 200 };
+        ]
+      ~algo:(Bprc_harness.Run.Ads Bprc_core.Ads89.Shared_walk)
+      ~pattern:Bprc_harness.Run.Split ~n:4 ~seed:11 ()
+  in
+  Alcotest.(check bool) "survivors decided" true r.Bprc_harness.Run.completed;
+  (match r.Bprc_harness.Run.spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "spec violated under crash+stall: %s" e);
+  Alcotest.(check (option bool)) "crashed process undecided" None
+    r.Bprc_harness.Run.decisions.(0)
+
+let suite =
+  [
+    Alcotest.test_case "plan: json round-trip" `Quick test_plan_json_roundtrip;
+    Alcotest.test_case "plan: rejects garbage" `Quick test_plan_json_rejects_garbage;
+    Alcotest.test_case "plan: weaken target" `Quick test_weaken_target;
+    Alcotest.test_case "script: round-trip" `Quick test_script_roundtrip;
+    Alcotest.test_case "script: save/load" `Quick test_script_save_load;
+    Alcotest.test_case "script: wrong kind" `Quick test_script_rejects_wrong_kind;
+    Alcotest.test_case "ddmin: single culprit" `Quick test_ddmin_single_culprit;
+    Alcotest.test_case "ddmin: pair" `Quick test_ddmin_pair;
+    Alcotest.test_case "ddmin: edge cases" `Quick test_ddmin_edge_cases;
+    Alcotest.test_case "record/replay identity" `Quick test_record_replay_identity;
+    Alcotest.test_case "weaken: no overlap = atomic" `Quick
+      test_weaken_no_overlap_is_atomic;
+    Alcotest.test_case "hunt: finds injected bug (e2e)" `Quick
+      test_hunt_finds_injected_bug;
+    Alcotest.test_case "hunt: worker independent" `Quick
+      test_hunt_worker_independent;
+    Alcotest.test_case "hunt: clean scenarios" `Quick test_hunt_clean_scenarios;
+    Alcotest.test_case "hunt: budget" `Quick test_hunt_budget_exhausted;
+    Alcotest.test_case "hunt: bad args" `Quick test_hunt_rejects_bad_args;
+    Alcotest.test_case "harness: consensus_once faults" `Quick
+      test_consensus_once_with_faults;
+  ]

@@ -342,7 +342,7 @@ let test_consensus_once_crash () =
 (* ------------------------------------------------------------------ *)
 
 let test_experiments_registry () =
-  Alcotest.(check int) "fourteen experiments" 14 (List.length Experiments.ids);
+  Alcotest.(check int) "sixteen experiments" 16 (List.length Experiments.ids);
   List.iter
     (fun id ->
       match Experiments.by_id id with

@@ -13,4 +13,5 @@ let () =
       ("harness", Test_harness.suite);
       ("universal", Test_universal.suite);
       ("netsim", Test_netsim.suite);
+      ("faults", Test_faults.suite);
     ]

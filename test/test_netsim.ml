@@ -261,6 +261,166 @@ let test_consensus_over_the_network () =
       Alcotest.failf "net-consensus: seed %d: undecided node" seed
   done
 
+(* ------------------------------------------------------------------ *)
+(* Crash semantics (pinned by the netsim.mli "Crash semantics" doc)    *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_while_blocked_in_recv () =
+  (* Node 1 blocks in recv; node 0 crashes it mid-run, sends it a
+     message anyway (allowed; dropped at delivery) and finishes.  The
+     run must end Completed: everyone is finished or crashed, even
+     though a message is still in flight. *)
+  let net = Ping.create ~seed:5 ~n:2 () in
+  let h0 =
+    Ping.spawn net (fun () ->
+        (* Give node 1 time to start and block. *)
+        Ping.yield net;
+        Ping.yield net;
+        Ping.crash net 1;
+        Ping.send net ~dst:1 Ping_msg.Ping;
+        "done")
+  in
+  let h1 = Ping.spawn net (fun () -> ignore (Ping.recv net)) in
+  (match Ping.run net with
+  | Ping.Completed -> ()
+  | Ping.Deadlock -> Alcotest.fail "crashed receiver must not deadlock the run"
+  | Ping.Hit_event_limit -> Alcotest.fail "event limit");
+  Alcotest.(check (option string)) "live node finished" (Some "done")
+    (Ping.result h0);
+  Alcotest.(check (option unit)) "crashed node's continuation abandoned" None
+    (Ping.result h1);
+  Alcotest.(check bool) "node 1 reported crashed" true (Ping.crashed net 1)
+
+let test_crash_idempotent_and_after_finish () =
+  let net = Ping.create ~seed:6 ~n:2 () in
+  let h0 = Ping.spawn net (fun () -> 41 + 1) in
+  let _h1 = Ping.spawn net (fun () -> ignore (Ping.recv net)) in
+  Ping.crash net 1;
+  Ping.crash net 1;
+  (match Ping.run net with
+  | Ping.Completed -> ()
+  | _ -> Alcotest.fail "did not complete");
+  (* Crashing an already-finished node is a no-op: the result stays. *)
+  Ping.crash net 0;
+  Alcotest.(check (option int)) "result survives post-finish crash" (Some 42)
+    (Ping.result h0)
+
+let test_all_crashed_completes () =
+  (* No live node left: Completed, not Deadlock — there is nobody to
+     observe the blocked mailboxes. *)
+  let net = Ping.create ~seed:11 ~n:2 () in
+  let _ = Ping.spawn net (fun () -> ignore (Ping.recv net)) in
+  let _ = Ping.spawn net (fun () -> ignore (Ping.recv net)) in
+  Ping.crash net 0;
+  Ping.crash net 1;
+  match Ping.run net with
+  | Ping.Completed -> ()
+  | Ping.Deadlock -> Alcotest.fail "all-crashed run must report Completed"
+  | Ping.Hit_event_limit -> Alcotest.fail "event limit"
+
+(* ------------------------------------------------------------------ *)
+(* Link-fault hooks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_hook_drop () =
+  let net = Ping.create ~seed:7 ~n:2 () in
+  Ping.set_fault_hook net (fun ~nth ~src:_ ~dst:_ ->
+      if nth = 0 then Netsim.Drop else Netsim.Pass);
+  let _ = Ping.spawn net (fun () -> Ping.send net ~dst:1 Ping_msg.Ping) in
+  let _ = Ping.spawn net (fun () -> ignore (Ping.recv net)) in
+  (match Ping.run net with
+  | Ping.Deadlock -> ()
+  | _ -> Alcotest.fail "receiver of a dropped message must deadlock");
+  Alcotest.(check int) "the send itself still counted" 1
+    (Ping.messages_sent net)
+
+let test_fault_hook_duplicate () =
+  let net = Ping.create ~seed:8 ~n:2 () in
+  Ping.set_fault_hook net (fun ~nth ~src:_ ~dst:_ ->
+      if nth = 0 then Netsim.Duplicate else Netsim.Pass);
+  let _ = Ping.spawn net (fun () -> Ping.send net ~dst:1 Ping_msg.Ping) in
+  let h =
+    Ping.spawn net (fun () ->
+        let _, a = Ping.recv net in
+        let _, b = Ping.recv net in
+        (a = Ping_msg.Ping, b = Ping_msg.Ping))
+  in
+  (match Ping.run net with
+  | Ping.Completed -> ()
+  | _ -> Alcotest.fail "duplicate must yield two deliveries");
+  Alcotest.(check (option (pair bool bool))) "both copies identical"
+    (Some (true, true)) (Ping.result h)
+
+let test_fault_hook_delay_orders_behind () =
+  (* Delay the first message far beyond the run's natural length: the
+     second, undelayed message must be delivered first, and the delayed
+     one must still arrive (the clock advances when only delayed
+     messages remain). *)
+  let module Seq_msg = struct
+    type msg = int
+  end in
+  let module Seq = Netsim.Make (Seq_msg) in
+  let net = Seq.create ~seed:9 ~n:2 () in
+  Seq.set_fault_hook net (fun ~nth ~src:_ ~dst:_ ->
+      if nth = 0 then Netsim.Delay 500 else Netsim.Pass);
+  let _ =
+    Seq.spawn net (fun () ->
+        Seq.send net ~dst:1 1;
+        Seq.send net ~dst:1 2)
+  in
+  let h =
+    Seq.spawn net (fun () ->
+        let _, a = Seq.recv net in
+        let _, b = Seq.recv net in
+        (a, b))
+  in
+  (match Seq.run net with
+  | Seq.Completed -> ()
+  | Seq.Deadlock -> Alcotest.fail "a delayed message must not be lost"
+  | Seq.Hit_event_limit -> Alcotest.fail "event limit");
+  Alcotest.(check (option (pair int int))) "undelayed message overtook"
+    (Some (2, 1)) (Seq.result h)
+
+let test_fault_hook_broadcast_ordinals () =
+  (* Each broadcast destination gets its own ordinal: dropping nth = 1
+     loses exactly one destination's copy. *)
+  let module Seq_msg = struct
+    type msg = int
+  end in
+  let module Seq = Netsim.Make (Seq_msg) in
+  let net = Seq.create ~seed:10 ~n:3 () in
+  Seq.set_fault_hook net (fun ~nth ~src:_ ~dst:_ ->
+      if nth = 1 then Netsim.Drop else Netsim.Pass);
+  let _ = Seq.spawn net (fun () -> Seq.broadcast net 7) in
+  let h1 = Seq.spawn net (fun () -> snd (Seq.recv net)) in
+  let h2 = Seq.spawn net (fun () -> snd (Seq.recv net)) in
+  (match Seq.run net with
+  | Seq.Deadlock -> ()
+  | _ -> Alcotest.fail "one starved receiver must deadlock the run");
+  (* Broadcast walks destinations in node order, so ordinal 0 went to
+     node 1 and ordinal 1 to node 2: node 2's copy is the one lost. *)
+  let got = List.filter_map Seq.result [ h1; h2 ] in
+  Alcotest.(check (list int)) "exactly one copy delivered" [ 7 ] got;
+  Alcotest.(check (option int)) "node 1's copy survived" (Some 7)
+    (Seq.result h1);
+  Alcotest.(check (option int)) "node 2 starved" None (Seq.result h2)
+
+let fault_suite =
+  [
+    Alcotest.test_case "net: crash in recv" `Quick test_crash_while_blocked_in_recv;
+    Alcotest.test_case "net: crash idempotent" `Quick
+      test_crash_idempotent_and_after_finish;
+    Alcotest.test_case "net: all crashed completes" `Quick
+      test_all_crashed_completes;
+    Alcotest.test_case "net: fault hook drop" `Quick test_fault_hook_drop;
+    Alcotest.test_case "net: fault hook duplicate" `Quick
+      test_fault_hook_duplicate;
+    Alcotest.test_case "net: fault hook delay" `Quick
+      test_fault_hook_delay_orders_behind;
+    Alcotest.test_case "net: broadcast ordinals" `Quick
+      test_fault_hook_broadcast_ordinals;
+  ]
+
 let suite =
   [
     Alcotest.test_case "net: ping pong" `Quick test_ping_pong;
@@ -279,3 +439,4 @@ let suite =
     Alcotest.test_case "consensus over the network" `Slow
       test_consensus_over_the_network;
   ]
+  @ fault_suite

@@ -526,3 +526,185 @@ let gap_suite =
   ]
 
 let suite = suite @ gap_suite
+
+(* --- Ring traces, stalls, flip observer, explore accounting ------------ *)
+
+let step_event time pid =
+  { Trace.time; pid; reg_id = -1; reg_name = ""; kind = Trace.Step }
+
+let test_trace_ring_wraparound () =
+  let tr = Trace.create ~capacity:4 () in
+  Alcotest.(check (option int)) "capacity" (Some 4) (Trace.capacity tr);
+  for i = 1 to 10 do
+    Trace.record tr (step_event i 0)
+  done;
+  Alcotest.(check int) "length capped at capacity" 4 (Trace.length tr);
+  Alcotest.(check int) "total counts evicted events" 10 (Trace.total tr);
+  Alcotest.(check int) "dropped = total - length" 6 (Trace.dropped tr);
+  let times = List.map (fun e -> e.Trace.time) (Trace.to_list tr) in
+  Alcotest.(check (list int)) "newest 4 kept, oldest first" [ 7; 8; 9; 10 ] times;
+  Alcotest.(check int) "get 0 is oldest retained" 7 (Trace.get tr 0).Trace.time;
+  (match Trace.last tr with
+  | Some e -> Alcotest.(check int) "last is newest" 10 e.Trace.time
+  | None -> Alcotest.fail "ring has events");
+  let seen = ref [] in
+  Trace.iter (fun e -> seen := e.Trace.time :: !seen) tr;
+  Alcotest.(check (list int)) "iter oldest to newest" [ 7; 8; 9; 10 ]
+    (List.rev !seen);
+  Trace.clear tr;
+  Alcotest.(check int) "clear empties" 0 (Trace.length tr);
+  Alcotest.(check int) "clear resets total" 0 (Trace.total tr);
+  Trace.record tr (step_event 99 1);
+  Alcotest.(check int) "ring usable after clear" 1 (Trace.length tr);
+  Alcotest.(check int) "refilled event readable" 99 (Trace.get tr 0).Trace.time
+
+let test_trace_ring_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()));
+  (* Default mode is unchanged: unbounded, nothing dropped. *)
+  let tr = Trace.create () in
+  Alcotest.(check (option int)) "unbounded" None (Trace.capacity tr);
+  for i = 1 to 100 do
+    Trace.record tr (step_event i 0)
+  done;
+  Alcotest.(check int) "keeps everything" 100 (Trace.length tr);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped tr)
+
+let test_sim_trace_capacity () =
+  let sim =
+    Sim.create ~seed:5 ~record_trace:true ~trace_capacity:8 ~n:1
+      ~adversary:(Adversary.round_robin ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  ignore
+    (Sim.spawn sim (fun () ->
+         for i = 1 to 30 do
+           R.write reg i
+         done));
+  ignore (Sim.run sim);
+  match Sim.trace sim with
+  | None -> Alcotest.fail "no trace"
+  | Some tr ->
+    Alcotest.(check int) "ring bounds retained events" 8 (Trace.length tr);
+    Alcotest.(check bool) "older events were evicted" true (Trace.dropped tr > 0);
+    (match Trace.last tr with
+    | Some e -> Alcotest.(check bool) "newest event survived" true
+        (e.Trace.kind = Trace.Write)
+    | None -> Alcotest.fail "empty trace")
+
+let test_stall_delays_process () =
+  let order = ref [] in
+  let sim = Sim.create ~seed:6 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let body () =
+    for _ = 1 to 3 do
+      order := R.pid () :: !order;
+      R.yield ()
+    done
+  in
+  ignore (Sim.spawn sim body);
+  ignore (Sim.spawn sim body);
+  Sim.stall sim 0 ~steps:1_000;
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "stall must not hit the step limit");
+  Alcotest.(check (list int)) "p1 ran to completion before stalled p0"
+    [ 1; 1; 1; 0; 0; 0 ] (List.rev !order)
+
+let test_stall_everyone_cannot_deadlock () =
+  (* When every runnable process is stalled the stalls are ignored
+     rather than deadlocking the run. *)
+  let sim = Sim.create ~seed:7 ~n:2 ~adversary:(Adversary.random ()) () in
+  let (module R) = Sim.runtime sim in
+  let reg = R.make_reg 0 in
+  ignore (Sim.spawn sim (fun () -> R.write reg 1));
+  ignore (Sim.spawn sim (fun () -> R.write reg 2));
+  Sim.stall sim 0 ~steps:5_000;
+  Sim.stall sim 1 ~steps:5_000;
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "all-stalled run must still progress");
+  Alcotest.check_raises "negative stall rejected"
+    (Invalid_argument "Sim.stall: negative duration") (fun () ->
+      Sim.stall sim 0 ~steps:(-1))
+
+let test_flip_observer () =
+  let sim = Sim.create ~seed:8 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let observed = ref [] in
+  Sim.set_flip_observer sim (fun ~pid b -> observed := (pid, b) :: !observed);
+  let spawn_flipper () =
+    Sim.spawn sim (fun () -> List.init 4 (fun _ -> R.flip ()))
+  in
+  let h0 = spawn_flipper () in
+  let h1 = spawn_flipper () in
+  ignore (Sim.run sim);
+  let observed = List.rev !observed in
+  Alcotest.(check int) "observer saw every flip" 8 (List.length observed);
+  let of_pid p = List.filter_map (fun (q, b) -> if q = p then Some b else None) observed in
+  Alcotest.(check (option (list bool))) "pid 0 flips match results"
+    (Sim.result h0) (Some (of_pid 0));
+  Alcotest.(check (option (list bool))) "pid 1 flips match results"
+    (Sim.result h1) (Some (of_pid 1))
+
+let test_explore_counts_step_limited () =
+  let stats =
+    Explore.search ~n:1 ~max_steps:3
+      ~setup:(fun (module R : Runtime_intf.S) ->
+        let reg = R.make_reg 0 in
+        let body _ =
+          for i = 1 to 10 do
+            R.write reg i
+          done
+        in
+        (body, fun _ -> ()))
+      ()
+  in
+  Alcotest.(check int) "one (deterministic) run" 1 stats.Explore.runs;
+  Alcotest.(check int) "that run was cut short" 1 stats.Explore.step_limited_runs;
+  Alcotest.(check bool) "tree still exhausted" true stats.Explore.exhausted
+
+exception Violation of int
+
+let test_explore_propagates_violation () =
+  (* Two racy increments: some interleaving loses an update, and the
+     check's exception must escape the search with its payload (the
+     final counter value) intact. *)
+  let raised =
+    try
+      ignore
+        (Explore.search ~n:2
+           ~setup:(fun (module R : Runtime_intf.S) ->
+             let reg = R.make_reg 0 in
+             let body _ =
+               let v = R.read reg in
+               R.write reg (v + 1)
+             in
+             let check _ = if R.peek reg < 2 then raise (Violation (R.peek reg)) in
+             (body, check))
+           ());
+      None
+    with Violation v -> Some v
+  in
+  Alcotest.(check (option int)) "lost update reported with evidence" (Some 1)
+    raised
+
+let faults_support_suite =
+  [
+    Alcotest.test_case "trace: ring wraparound" `Quick test_trace_ring_wraparound;
+    Alcotest.test_case "trace: ring capacity guard" `Quick
+      test_trace_ring_rejects_bad_capacity;
+    Alcotest.test_case "trace: sim ring mode" `Quick test_sim_trace_capacity;
+    Alcotest.test_case "stall: delays process" `Quick test_stall_delays_process;
+    Alcotest.test_case "stall: cannot deadlock" `Quick
+      test_stall_everyone_cannot_deadlock;
+    Alcotest.test_case "flip observer" `Quick test_flip_observer;
+    Alcotest.test_case "explore: step-limited runs counted" `Quick
+      test_explore_counts_step_limited;
+    Alcotest.test_case "explore: violation propagates" `Quick
+      test_explore_propagates_violation;
+  ]
+
+let suite = suite @ faults_support_suite
