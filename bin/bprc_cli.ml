@@ -466,7 +466,13 @@ let replay_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"SCRIPT" ~doc:"Hunt script (JSON) to re-execute.")
   in
-  let action file =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit a machine-readable JSON summary on stdout.")
+  in
+  let action file json =
     match Bprc_faults.Script.load ~path:file with
     | Error e ->
       Fmt.epr "replay: %s@." e;
@@ -479,26 +485,50 @@ let replay_cmd =
         exit 2
       | Some scenario ->
         let r = Bprc_faults.Hunt.replay_script ~scenario s in
-        Fmt.pr "scenario : %s  (n=%d seed=%d)@." s.Bprc_faults.Script.scenario
-          s.Bprc_faults.Script.n s.Bprc_faults.Script.seed;
-        Fmt.pr "plan     : %a@." Bprc_faults.Fault_plan.pp
-          s.Bprc_faults.Script.plan;
+        let bit_identical =
+          r.Bprc_faults.Scenario.clock = s.Bprc_faults.Script.clock
+          && Some s.Bprc_faults.Script.failure = r.Bprc_faults.Scenario.failure
+        in
+        let summary outcome fields =
+          if json then
+            print_endline
+              (Bprc_util.Json.to_string
+                 (Bprc_util.Json.Obj
+                    (("scenario",
+                      Bprc_util.Json.Str s.Bprc_faults.Script.scenario)
+                     :: ("script", Bprc_util.Json.Str file)
+                     :: ("outcome", Bprc_util.Json.Str outcome)
+                     :: ("clock",
+                         Bprc_util.Json.Int r.Bprc_faults.Scenario.clock)
+                     :: fields)))
+        in
+        if not json then begin
+          Fmt.pr "scenario : %s  (n=%d seed=%d)@."
+            s.Bprc_faults.Script.scenario s.Bprc_faults.Script.n
+            s.Bprc_faults.Script.seed;
+          Fmt.pr "plan     : %a@." Bprc_faults.Fault_plan.pp
+            s.Bprc_faults.Script.plan
+        end;
         (match r.Bprc_faults.Scenario.failure with
         | Some f ->
-          Fmt.pr "failure  : %s@." f;
-          Fmt.pr "expected : %s@." s.Bprc_faults.Script.failure;
-          Fmt.pr "clock    : %d (script: %d)%s@." r.Bprc_faults.Scenario.clock
-            s.Bprc_faults.Script.clock
-            (if
-               r.Bprc_faults.Scenario.clock = s.Bprc_faults.Script.clock
-               && Some s.Bprc_faults.Script.failure
-                  = r.Bprc_faults.Scenario.failure
-             then "  [bit-identical]"
-             else "");
+          if not json then begin
+            Fmt.pr "failure  : %s@." f;
+            Fmt.pr "expected : %s@." s.Bprc_faults.Script.failure;
+            Fmt.pr "clock    : %d (script: %d)%s@."
+              r.Bprc_faults.Scenario.clock s.Bprc_faults.Script.clock
+              (if bit_identical then "  [bit-identical]" else "")
+          end;
+          summary "reproduced"
+            [
+              ("failure", Bprc_util.Json.Str f);
+              ("bit_identical", Bprc_util.Json.Bool bit_identical);
+            ];
           exit exit_violation
         | None ->
-          Fmt.pr "failure  : none reproduced (script expected: %s)@."
-            s.Bprc_faults.Script.failure;
+          if not json then
+            Fmt.pr "failure  : none reproduced (script expected: %s)@."
+              s.Bprc_faults.Script.failure;
+          summary "clean" [];
           exit exit_ok))
   in
   Cmd.v
@@ -506,7 +536,279 @@ let replay_cmd =
        ~doc:
          "Re-execute a hunt counterexample script deterministically.  Exit \
           codes: 1 when the violation reproduces, 0 when the run is clean.")
-    Term.(const action $ file_arg)
+    Term.(const action $ file_arg $ json_arg)
+
+(* --- check ------------------------------------------------------------ *)
+
+let check_cmd =
+  let configs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"CONFIG"
+          ~doc:
+            (Printf.sprintf
+               "Configurations to explore (default: all).  Known: %s."
+               (String.concat ", " (Bprc_check.Config.names ()))))
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the known configurations and exit.")
+  in
+  let max_runs_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-runs" ] ~docv:"N"
+          ~doc:"Bound on schedules explored per configuration.")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Per-run step bound (default: the configuration's own).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-s" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget per configuration.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "check-witness.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the violating schedule, if one is found.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit a machine-readable JSON report on stdout.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Skip ddmin minimization of the witness.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute a saved check witness instead of exploring \
+             (positional $(docv) arguments are ignored).")
+  in
+  let replay_action path json =
+    match Bprc_check.Witness.load ~path with
+    | Error e ->
+      Fmt.epr "check: %s@." e;
+      exit 2
+    | Ok w -> (
+      match Bprc_check.Config.find w.Bprc_check.Witness.config with
+      | None ->
+        Fmt.epr "check: witness names unknown configuration %S@."
+          w.Bprc_check.Witness.config;
+        exit 2
+      | Some cfg ->
+        let outcome, clock =
+          Bprc_check.Config.replay ~max_steps:w.Bprc_check.Witness.max_steps
+            cfg
+            (Bprc_check.Witness.to_explorer w)
+        in
+        let summary oc fields =
+          if json then
+            print_endline
+              (Bprc_util.Json.to_string
+                 (Bprc_util.Json.Obj
+                    (("config", Bprc_util.Json.Str cfg.Bprc_check.Config.name)
+                     :: ("witness", Bprc_util.Json.Str path)
+                     :: ("outcome", Bprc_util.Json.Str oc)
+                     :: ("clock", Bprc_util.Json.Int clock)
+                     :: fields)))
+        in
+        if not json then
+          Fmt.pr "config   : %s  (n=%d)@." cfg.Bprc_check.Config.name
+            cfg.Bprc_check.Config.n;
+        (match outcome with
+        | Bprc_check.Explorer.Fail f ->
+          let bit_identical =
+            clock = w.Bprc_check.Witness.clock
+            && f = w.Bprc_check.Witness.failure
+          in
+          if not json then begin
+            Fmt.pr "failure  : %s@." f;
+            Fmt.pr "expected : %s@." w.Bprc_check.Witness.failure;
+            Fmt.pr "clock    : %d (witness: %d)%s@." clock
+              w.Bprc_check.Witness.clock
+              (if bit_identical then "  [bit-identical]" else "")
+          end;
+          summary "reproduced"
+            [
+              ("failure", Bprc_util.Json.Str f);
+              ("bit_identical", Bprc_util.Json.Bool bit_identical);
+            ];
+          exit exit_violation
+        | Bprc_check.Explorer.Pass ->
+          if not json then
+            Fmt.pr "failure  : none reproduced (witness expected: %s)@."
+              w.Bprc_check.Witness.failure;
+          summary "clean" [];
+          exit exit_ok
+        | Bprc_check.Explorer.Cutoff ->
+          if not json then
+            Fmt.pr "failure  : step bound hit before completion@.";
+          summary "cutoff" [];
+          exit exit_budget))
+  in
+  let action configs list max_runs max_steps budget_s out json no_shrink
+      replay_file =
+    if list then begin
+      List.iter
+        (fun c ->
+          Fmt.pr "%-16s %s@." c.Bprc_check.Config.name
+            c.Bprc_check.Config.summary)
+        Bprc_check.Config.all;
+      exit exit_ok
+    end;
+    match replay_file with
+    | Some path -> replay_action path json
+    | None ->
+      let cfgs =
+        match configs with
+        | [] -> Bprc_check.Config.all
+        | names ->
+          List.map
+            (fun name ->
+              match Bprc_check.Config.find name with
+              | Some c -> c
+              | None ->
+                Fmt.epr "check: unknown configuration %S (valid: %s)@." name
+                  (String.concat ", " (Bprc_check.Config.names ()));
+                exit 2)
+            names
+      in
+      let results =
+        (* Stop exploring further configurations at the first violation,
+           mirroring hunt's stop-at-first-failure. *)
+        let rec go acc = function
+          | [] -> List.rev acc
+          | cfg :: rest ->
+            let stats =
+              Bprc_check.Config.run ~max_runs ?max_steps ?budget_s
+                ~shrink:(not no_shrink) cfg
+            in
+            if not json then begin
+              match stats.Bprc_check.Explorer.violation with
+              | None ->
+                Fmt.pr "check: %-16s runs=%d pruned=%d cutoff=%d %s@."
+                  cfg.Bprc_check.Config.name stats.Bprc_check.Explorer.runs
+                  stats.Bprc_check.Explorer.pruned
+                  stats.Bprc_check.Explorer.step_limited
+                  (if stats.Bprc_check.Explorer.exhausted then
+                     "exhausted: clean"
+                   else "bound hit: clean so far")
+              | Some w ->
+                Fmt.pr "check: %-16s FAILURE after %d runs: %s@."
+                  cfg.Bprc_check.Config.name stats.Bprc_check.Explorer.runs
+                  w.Bprc_check.Explorer.failure
+            end;
+            if stats.Bprc_check.Explorer.violation <> None then
+              List.rev ((cfg, stats) :: acc)
+            else go ((cfg, stats) :: acc) rest
+        in
+        go [] cfgs
+      in
+      let found =
+        List.find_opt
+          (fun (_, s) -> s.Bprc_check.Explorer.violation <> None)
+          results
+      in
+      (match found with
+      | Some (cfg, { Bprc_check.Explorer.violation = Some w; _ }) ->
+        Bprc_check.Witness.save ~path:out
+          (Bprc_check.Witness.of_witness ~config:cfg.Bprc_check.Config.name
+             ~n:cfg.Bprc_check.Config.n
+             ~max_steps:
+               (Option.value max_steps
+                  ~default:cfg.Bprc_check.Config.max_steps)
+             w);
+        if not json then begin
+          Fmt.pr "  schedule: %d choices, %d flips (ddmin-%s)@."
+            (List.length w.Bprc_check.Explorer.choices)
+            (List.length w.Bprc_check.Explorer.flips)
+            (if no_shrink then "skipped" else "minimized");
+          Fmt.pr "  witness : %s@." out;
+          Fmt.pr "  repro   : bprc check --replay %s@." out
+        end
+      | _ -> ());
+      let all_exhausted =
+        List.for_all
+          (fun (_, s) -> s.Bprc_check.Explorer.exhausted)
+          results
+      in
+      let outcome =
+        if found <> None then "violation"
+        else if all_exhausted then "clean"
+        else "bound_hit"
+      in
+      if json then begin
+        let config_json (cfg, s) =
+          Bprc_util.Json.Obj
+            (("name", Bprc_util.Json.Str cfg.Bprc_check.Config.name)
+             :: ("runs", Bprc_util.Json.Int s.Bprc_check.Explorer.runs)
+             :: ("pruned", Bprc_util.Json.Int s.Bprc_check.Explorer.pruned)
+             :: ("step_limited",
+                 Bprc_util.Json.Int s.Bprc_check.Explorer.step_limited)
+             :: ("exhausted",
+                 Bprc_util.Json.Bool s.Bprc_check.Explorer.exhausted)
+             ::
+             (match s.Bprc_check.Explorer.violation with
+             | None -> []
+             | Some w ->
+               [
+                 ("failure", Bprc_util.Json.Str w.Bprc_check.Explorer.failure);
+                 ("clock", Bprc_util.Json.Int w.Bprc_check.Explorer.clock);
+                 ( "choices",
+                   Bprc_util.Json.Int
+                     (List.length w.Bprc_check.Explorer.choices) );
+                 ( "flips",
+                   Bprc_util.Json.Int
+                     (List.length w.Bprc_check.Explorer.flips) );
+                 ("witness", Bprc_util.Json.Str out);
+               ]))
+        in
+        print_endline
+          (Bprc_util.Json.to_string
+             (Bprc_util.Json.Obj
+                [
+                  ("kind", Bprc_util.Json.Str "bprc-check-report");
+                  ("version", Bprc_util.Json.Int 1);
+                  ("outcome", Bprc_util.Json.Str outcome);
+                  ( "configs",
+                    Bprc_util.Json.Arr (List.map config_json results) );
+                ]))
+      end;
+      exit
+        (match outcome with
+        | "violation" -> exit_violation
+        | "clean" -> exit_ok
+        | _ -> exit_budget)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively explore the schedules of small configurations \
+          (linearizability + P1-P3 + consensus spec on every completed \
+          run); on violation, write a ddmin-minimized replayable witness \
+          schedule.  Exit codes: 0 every configuration exhausted clean, 1 \
+          violation found, 124 exploration bound hit first.")
+    Term.(
+      const action $ configs_arg $ list_arg $ max_runs_arg $ max_steps_arg
+      $ budget_arg $ out_arg $ json_arg $ no_shrink_arg $ replay_arg)
 
 let main =
   Cmd.group
@@ -516,6 +818,6 @@ let main =
           1989): simulator, baselines, experiment suite, and fault-injection \
           hunting.")
     [ run_cmd; coin_cmd; experiment_cmd; multi_cmd; trace_cmd; hunt_cmd;
-      replay_cmd ]
+      replay_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

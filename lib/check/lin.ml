@@ -1,0 +1,67 @@
+module type SPEC = sig
+  type state
+  type op
+
+  val name : string
+  val init : state
+  val apply : state -> op -> state option
+  val pp_op : Format.formatter -> op -> unit
+end
+
+let max_events = 62
+
+module Make (S : SPEC) = struct
+  type verdict =
+    | Linearizable of S.op Hist.event list
+    | Not_linearizable
+
+  let check events =
+    let ops = Array.of_list events in
+    let n = Array.length ops in
+    if n > max_events then
+      invalid_arg
+        (Printf.sprintf "Lin.check (%s): more than %d operations" S.name
+           max_events);
+    if n = 0 then Linearizable []
+    else begin
+      (* preds.(i) = bitmask of operations that must precede i (real-time
+         order); an operation is a candidate only once all its
+         predecessors are linearized. *)
+      let preds =
+        Array.init n (fun i ->
+            let m = ref 0 in
+            for j = 0 to n - 1 do
+              if j <> i && Hist.precedes ops.(j) ops.(i) then
+                m := !m lor (1 lsl j)
+            done;
+            !m)
+      in
+      let full = (1 lsl n) - 1 in
+      let failed : (int * S.state, unit) Hashtbl.t = Hashtbl.create 997 in
+      let rec go mask st acc =
+        if mask = full then Some acc
+        else if Hashtbl.mem failed (mask, st) then None
+        else begin
+          let result = ref None in
+          let i = ref 0 in
+          while !result = None && !i < n do
+            let idx = !i in
+            incr i;
+            let bit = 1 lsl idx in
+            if mask land bit = 0 && preds.(idx) land lnot mask = 0 then
+              match S.apply st ops.(idx).Hist.op with
+              | Some st' -> result := go (mask lor bit) st' (idx :: acc)
+              | None -> ()
+          done;
+          if !result = None then Hashtbl.add failed (mask, st) ();
+          !result
+        end
+      in
+      match go 0 S.init [] with
+      | Some rev_order -> Linearizable (List.rev_map (fun i -> ops.(i)) rev_order)
+      | None -> Not_linearizable
+    end
+
+  let pp_history ppf events =
+    Fmt.(list ~sep:sp (Hist.pp_event S.pp_op)) ppf events
+end

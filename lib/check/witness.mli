@@ -1,0 +1,25 @@
+(** Saved explorer witnesses: a violating schedule as a JSON file,
+    replayable with [bprc check --replay] (same shape and conventions as
+    {!Bprc_faults.Script} for hunt scripts). *)
+
+type t = {
+  config : string;  (** registry name of the explored configuration *)
+  n : int;
+  max_steps : int;
+  choices : int list;
+  flips : bool list;
+  failure : string;
+  clock : int;
+}
+
+val of_witness :
+  config:string -> n:int -> max_steps:int -> Explorer.witness -> t
+
+val to_explorer : t -> Explorer.witness
+
+val to_json : t -> Bprc_util.Json.t
+val of_json : Bprc_util.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : path:string -> t -> unit
+val load : path:string -> (t, string) result

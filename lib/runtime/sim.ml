@@ -34,6 +34,7 @@ type t = {
   mutable next_reg_id : int;
   mutable flip_source : (pid:int -> bool) option;
   mutable flip_observer : (pid:int -> bool -> unit) option;
+  mutable last_access : (int * Trace.kind) option;
 }
 
 type 'a handle = { cell : 'a option ref }
@@ -70,9 +71,14 @@ let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false)
     next_reg_id = 0;
     flip_source = None;
     flip_observer = None;
+    last_access = None;
   }
 
 let record t pid reg_id reg_name kind =
+  (match kind with
+  | Trace.Note _ -> ()
+  | Trace.Read | Trace.Write | Trace.Flip _ | Trace.Step ->
+    t.last_access <- Some (reg_id, kind));
   match t.tr with
   | None -> ()
   | Some tr -> Trace.record tr { Trace.time = t.clock; pid; reg_id; reg_name; kind }
@@ -117,6 +123,7 @@ let draw_flip t (p : proc) =
 (* Execute one atomic step of process [pid]. *)
 let step_pid t pid =
   let p = t.procs.(pid) in
+  t.last_access <- None;
   t.clock <- t.clock + 1;
   p.steps <- p.steps + 1;
   t.current <- pid;
@@ -202,6 +209,7 @@ let clock t = t.clock
 let steps_of t pid = t.procs.(pid).steps
 let flips_of t pid = t.procs.(pid).flips
 let trace t = t.tr
+let last_access t = t.last_access
 let set_flip_source t f = t.flip_source <- Some f
 let set_flip_observer t f = t.flip_observer <- Some f
 

@@ -91,6 +91,15 @@ val flips_of : t -> int -> int
 val trace : t -> Trace.t option
 (** The recorded trace, when [record_trace] was set. *)
 
+val last_access : t -> (int * Trace.kind) option
+(** The shared-memory access performed by the most recent step:
+    [(reg_id, kind)] for register reads/writes, [reg_id = -1] for coin
+    flips and explicit yields.  [None] when the step performed no access
+    at all (a process's initial segment before its first suspension).
+    Available whether or not trace recording is on; the schedule
+    explorer in [lib/check] uses it to compute step independence for
+    partial-order reduction. *)
+
 val note : t -> pid:int -> string -> unit
 (** Append an algorithm-level annotation to the trace (no-op when
     recording is off).  Not a step. *)

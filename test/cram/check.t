@@ -1,0 +1,65 @@
+Golden tests for the `check` subcommand: JSON schema stability and the
+0/1/124 exit-code contract shared with `hunt`.
+
+  $ BPRC=../../bin/bprc_cli.exe
+
+The registry of bounded-exploration configurations:
+
+  $ $BPRC check --list
+  reg-atomic       2 procs, write-then-read one atomic register
+  reg-safe         write-then-read over a safe-weakened register
+  reg-regular      new-old inversion probe over a regular-weakened register
+  snapshot-atomic  update-then-scan over the handshake snapshot (P1-P3 + lin)
+  snapshot-unsafe  handshake snapshot over safe-weakened registers
+  consensus-2p     2-proc split-input consensus, bounded corner search
+
+Atomic implementations are exhausted clean (exit 0); counts are
+deterministic, so they are part of the golden output:
+
+  $ $BPRC check reg-atomic snapshot-atomic --json
+  {"kind":"bprc-check-report","version":1,"outcome":"clean","configs":[{"name":"reg-atomic","runs":7,"pruned":3,"step_limited":0,"exhausted":true},{"name":"snapshot-atomic","runs":84,"pruned":67,"step_limited":0,"exhausted":true}]}
+
+A safe-weakened register yields a non-linearizable history (exit 1)
+with a minimal replayable witness:
+
+  $ $BPRC check reg-safe --json --out w.json
+  {"kind":"bprc-check-report","version":1,"outcome":"violation","configs":[{"name":"reg-safe","runs":2,"pruned":0,"step_limited":0,"exhausted":false,"failure":"non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]","clock":12,"choices":1,"flips":0,"witness":"w.json"}]}
+  [1]
+
+  $ cat w.json
+  {"kind":"bprc-check-witness","version":1,"config":"reg-safe","n":2,"max_steps":64,"choices":[1],"flips":[],"failure":"non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]","clock":12}
+
+Replaying the witness reproduces the identical failure, exit 1:
+
+  $ $BPRC check --replay w.json --json
+  {"config":"reg-safe","witness":"w.json","outcome":"reproduced","clock":12,"failure":"non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]","bit_identical":true}
+  [1]
+
+  $ $BPRC check --replay w.json
+  config   : reg-safe  (n=2)
+  failure  : non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]
+  expected : non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]
+  clock    : 12 (witness: 12)  [bit-identical]
+  [1]
+
+Human-readable exploration output for the regular-weakened register
+(the new-old inversion needs one scheduling choice and one coin flip):
+
+  $ $BPRC check reg-regular
+  check: reg-regular      FAILURE after 54 runs: non-linearizable register history: p0:R=7[2,3] p0:R=0[4,5] p1:W(7)[1,6]
+    schedule: 1 choices, 1 flips (ddmin-minimized)
+    witness : check-witness.json
+    repro   : bprc check --replay check-witness.json
+  [1]
+
+A run capped below the schedule-tree size exits 124 (bound hit):
+
+  $ $BPRC check reg-atomic --max-runs 3 --json
+  {"kind":"bprc-check-report","version":1,"outcome":"bound_hit","configs":[{"name":"reg-atomic","runs":3,"pruned":1,"step_limited":0,"exhausted":false}]}
+  [124]
+
+Unknown configuration names are a usage error (exit 2):
+
+  $ $BPRC check no-such-config
+  check: unknown configuration "no-such-config" (valid: reg-atomic, reg-safe, reg-regular, snapshot-atomic, snapshot-unsafe, consensus-2p)
+  [2]

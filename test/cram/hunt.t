@@ -1,0 +1,30 @@
+Golden tests for `hunt --json` and `replay --json`: schema stability
+and the 0/1/124 exit-code contract shared with `check`.
+
+  $ BPRC=../../bin/bprc_cli.exe
+
+A clean hunt exits 0:
+
+  $ $BPRC hunt --trials 6 --seed 3 --workers 1 --json
+  {"scenario":"consensus","seed":3,"outcome":"no_failure","trials_run":6}
+
+The snapshot-unsafe scenario fails deterministically at this seed; the
+shrunk counterexample script is written next to us and exit is 1:
+
+  $ $BPRC hunt --scenario snapshot-unsafe --trials 400 --seed 1 --workers 1 --json --out hunt-script.json
+  {"scenario":"snapshot-unsafe","seed":1,"outcome":"failure","trial":138,"failure":"snapshot: P1: scan by 2 [33,38] returned stale value 0 of 1","script":"hunt-script.json","replay_verified":true,"repro":"bprc replay hunt-script.json"}
+  [1]
+
+Replaying the script reproduces the identical failure bit-for-bit:
+
+  $ $BPRC replay hunt-script.json --json
+  {"scenario":"snapshot-unsafe","script":"hunt-script.json","outcome":"reproduced","clock":626,"failure":"snapshot: P1: scan by 2 [33,38] returned stale value 0 of 1","bit_identical":true}
+  [1]
+
+  $ $BPRC replay hunt-script.json
+  scenario : snapshot-unsafe  (n=4 seed=728630938)
+  plan     : weaken(all->safe)
+  failure  : snapshot: P1: scan by 2 [33,38] returned stale value 0 of 1
+  expected : snapshot: P1: scan by 2 [33,38] returned stale value 0 of 1
+  clock    : 626 (script: 626)  [bit-identical]
+  [1]

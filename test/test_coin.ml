@@ -86,6 +86,39 @@ let test_bounded_overflow_escape () =
   done;
   Alcotest.(check bool) "tiny m produced overflows" true (!overflows > 0)
 
+let test_bounded_overflow_deterministic_heads () =
+  (* Force the Lemma 3.3-3.4 escape hatch deterministically: pid 0
+     always draws +1 and pid 1 always -1 (via the flip-source
+     override), so under strict alternation the published walk value
+     stays within ±1 and never reaches the ±δ·n barrier, while each
+     process's own counter drifts monotonically to the ±m bound.  Both
+     must exit through the overflow path and decide heads — the escape
+     is deterministic, not probabilistic — and no counter may leave the
+     clamped ±(m+1) band at any point of the run. *)
+  let n = 2 in
+  let delta = 2 and m = 5 in
+  let sim = Sim.create ~seed:11 ~n ~adversary:(Adversary.round_robin ()) () in
+  let module C = Bounded_walk.Make ((val Sim.runtime sim)) in
+  let coin = C.create_custom ~delta ~m ~seed:11 () in
+  Sim.set_flip_source sim (fun ~pid -> pid = 0);
+  let band_ok = ref true in
+  Sim.set_flip_observer sim (fun ~pid:_ _ ->
+      if abs (C.walk_value coin) > n * (m + 1) then band_ok := false);
+  let hs = Array.init n (fun _ -> Sim.spawn sim (fun () -> C.flip coin)) in
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "overflow path failed to terminate");
+  Array.iter
+    (fun h ->
+      Alcotest.(check (option bool)) "overflow decides heads" (Some true)
+        (Sim.result h))
+    hs;
+  Alcotest.(check int) "both processes escaped by overflow" 2
+    (C.overflows coin);
+  Alcotest.(check bool) "counters stayed in the clamped band" true !band_ok;
+  Alcotest.(check bool) "final walk value in band" true
+    (abs (C.walk_value coin) <= n * (m + 1))
+
 let test_bounded_counters_stay_in_band () =
   (* Counters never leave ±(m+1) even under adversarial bursts. *)
   let sim = Sim.create ~seed:5 ~n:3 ~adversary:(Adversary.bursty ~burst:9 ()) () in
@@ -177,6 +210,8 @@ let suite =
       test_bounded_rejects_bad_params;
     Alcotest.test_case "bounded: overflow escape" `Quick
       test_bounded_overflow_escape;
+    Alcotest.test_case "bounded: overflow deterministic heads" `Quick
+      test_bounded_overflow_deterministic_heads;
     Alcotest.test_case "bounded: counters clamped" `Quick
       test_bounded_counters_stay_in_band;
     Alcotest.test_case "bounded: steps accounted" `Quick

@@ -14,4 +14,5 @@ let () =
       ("universal", Test_universal.suite);
       ("netsim", Test_netsim.suite);
       ("faults", Test_faults.suite);
+      ("check", Test_check.suite);
     ]

@@ -121,6 +121,37 @@ let unbounded_of rt : (module SNAP) =
 let test_handshake_random_small () =
   check_random_schedules handshake_of ~n:3 ~rounds:4 ~seeds:60 "handshake"
 
+(* P1, P2 and P3 asserted one by one — not via check_all — so a failure
+   names the specific property broken (DESIGN.md §2), across random and
+   bursty schedules. *)
+let test_properties_individually () =
+  let adversaries =
+    [ ("random", Adversary.random); ("bursty", Adversary.bursty ~burst:5) ]
+  in
+  List.iter
+    (fun (aname, adv) ->
+      for seed = 1 to 25 do
+        let sim = Sim.create ~seed ~n:3 ~adversary:(adv ()) () in
+        let rt = Sim.runtime sim in
+        let snap = handshake_of rt in
+        let checker = drive_scenario rt snap sim ~rounds:3 in
+        (match Sim.run sim with
+        | Sim.Completed -> ()
+        | Sim.Hit_step_limit ->
+          Alcotest.failf "%s seed %d: step limit" aname seed);
+        (match Snap_checker.check_regularity checker with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "P1 regularity (%s seed %d): %s" aname seed e);
+        (match Snap_checker.check_snapshot checker with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "P2 snapshot (%s seed %d): %s" aname seed e);
+        match Snap_checker.check_serializability checker with
+        | Ok () -> ()
+        | Error e ->
+          Alcotest.failf "P3 serializability (%s seed %d): %s" aname seed e
+      done)
+    adversaries
+
 let test_handshake_random_wide () =
   check_random_schedules handshake_of ~n:6 ~rounds:3 ~seeds:15 "handshake-n6"
 
@@ -338,6 +369,8 @@ let suite =
       test_checker_rejects_nonmonotone_values;
     Alcotest.test_case "handshake: random schedules" `Quick
       test_handshake_random_small;
+    Alcotest.test_case "handshake: P1/P2/P3 individually" `Quick
+      test_properties_individually;
     Alcotest.test_case "handshake: n=6" `Quick test_handshake_random_wide;
     Alcotest.test_case "handshake: bursty" `Quick test_handshake_bursty;
     Alcotest.test_case "handshake: sequential exact" `Quick

@@ -391,6 +391,84 @@ let test_counters_translation_invariance () =
     done
   done
 
+let test_counters_wrap_boundaries_with_compression () =
+  (* Regression, parameterized over K ∈ {1,2,3}: two processes trade
+     moves for many multiples of 3K — driving their pointer pair around
+     the mod-3K cycle repeatedly, so every wrap boundary (3K-1 -> 0) is
+     crossed — while a third process never moves, so the strip's gap
+     compression to K (§4.1) is simultaneously active on both stalled
+     pairs.  At every step the decoded graph must equal the normalized
+     shrunken game's, rows must stay inside [0, 3K), the stalled pairs
+     must stay saturated at weight exactly K, and the moving pair's raw
+     cyclic difference must never enter the forbidden band (K, 2K). *)
+  List.iter
+    (fun k ->
+      let n = 3 in
+      let cyc = 3 * k in
+      let game = Token_game.create ~k ~n in
+      let counters = Edge_counters.create ~k ~n in
+      let step i =
+        Token_game.move game i;
+        Edge_counters.apply_inc counters i;
+        if not (Edge_counters.valid counters) then
+          Alcotest.failf "k=%d: counters undecodable" k;
+        Array.iter
+          (Array.iter (fun x ->
+               if x < 0 || x >= cyc then
+                 Alcotest.failf "k=%d: pointer %d outside [0,3K)" k x))
+          (Edge_counters.rows counters);
+        let a = Edge_counters.decode_pair counters 0 1 in
+        if a > k && a < 2 * k then
+          Alcotest.failf "k=%d: pair (0,1) decoded into forbidden band (%d)" k a;
+        let expected =
+          Distance_graph.of_positions ~k (Token_game.positions game)
+        in
+        let got = Edge_counters.to_graph counters in
+        if not (Distance_graph.equal expected got) then
+          Alcotest.failf "k=%d: decode diverges from game after wrap: %a vs %a"
+            k Distance_graph.pp expected Distance_graph.pp got
+      in
+      (* Phase 1: saturate both leads over the stalled process 2. *)
+      for _ = 1 to k do
+        step 0;
+        step 1
+      done;
+      (* Phase 2: 8 full trips around the cycle; each round advances
+         both pointers of the (0,1) pair by one, so each crosses the
+         wrap boundary 8 times while the (0,2)/(1,2) gaps stay
+         compressed at K. *)
+      for round = 1 to 8 * cyc do
+        step 0;
+        step 1;
+        let g = Edge_counters.to_graph counters in
+        Alcotest.(check int)
+          (Printf.sprintf "k=%d round %d: gap to stalled saturated" k round)
+          k
+          (Distance_graph.weight g 0 2);
+        Alcotest.(check int)
+          (Printf.sprintf "k=%d round %d: raw gap grows past K" k round)
+          k
+          (Distance_graph.weight g 1 2)
+      done;
+      (* The raw game has run far past any bound; the counters never
+         left [0, 3K). *)
+      let raw = Token_game.raw_positions game in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: raw positions exceeded the cycle" k)
+        true
+        (raw.(0) > cyc);
+      (* Phase 3: the stalled process catches up across K wrap-fresh
+         pointers; each inc must close the gap by exactly one. *)
+      for c = 1 to k do
+        step 2;
+        let g = Edge_counters.to_graph counters in
+        Alcotest.(check int)
+          (Printf.sprintf "k=%d: catch-up %d closes gap" k c)
+          (k - c)
+          (Distance_graph.weight g 0 2)
+      done)
+    [ 1; 2; 3 ]
+
 let suite =
   suite
   @ [
@@ -400,4 +478,6 @@ let suite =
         test_counters_wrapped_decode;
       Alcotest.test_case "counters: decode translation-invariant" `Quick
         test_counters_translation_invariance;
+      Alcotest.test_case "counters: wrap boundaries x gap compression" `Quick
+        test_counters_wrap_boundaries_with_compression;
     ]
