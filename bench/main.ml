@@ -257,6 +257,7 @@ let () =
         total_wall_s;
         calibration = Some calibration;
         entries;
+        extra = [];
       }
     in
     Report.write ~path report;

@@ -1,0 +1,299 @@
+(* Throughput benchmark suite: raw simulator steps/sec and the derived
+   rates every other workload bottoms out in, each with GC
+   minor-allocation-per-operation instrumentation.
+
+   Usage:
+     throughput.exe                     run all four benches, print a table
+     throughput.exe --trials K          scale iteration counts by K (default 8)
+     throughput.exe --json [FILE]       also write a report
+                                        (default FILE: BENCH_throughput.json)
+     throughput.exe --baseline FILE     embed FILE (a previous report) under
+                                        "baseline" in the emitted JSON
+     throughput.exe --assert-minor-words-per-step CEIL
+                                        exit 1 if the raw-Sim bench allocates
+                                        more than CEIL minor words per step
+                                        (CI allocation-regression guard)
+
+   The four benches:
+     raw-sim     n=4 processes spinning on write/read of private
+                 registers under round-robin — the Sim.step inner loop
+                 with nothing else on top (ops = simulated steps)
+     esnap-scan  n=4 processes doing write+scan pairs on the embedded-
+                 scan snapshot (ops = write+scan pairs; a write embeds
+                 a full scan, so each pair costs two collect sweeps)
+     consensus   end-to-end ADS89 shared-walk decisions over random
+                 inputs (ops = decided processes)
+     explorer    bounded exhaustive exploration of a 3-process
+                 write-then-read config (ops = exploration runs)
+
+   Every rate is single-domain on purpose: this suite measures the hot
+   path itself; cross-domain scaling is covered by the calibration
+   section of the main bench driver. *)
+
+module Sim = Bprc_runtime.Sim
+module Adversary = Bprc_runtime.Adversary
+open Bprc_harness
+
+type sample = {
+  bench : string;
+  unit_ : string;  (* what one "op" is *)
+  ops : float;
+  sim_steps : float option;  (* simulated steps, when the bench counts them *)
+  wall_s : float;
+  minor_words : float;
+}
+
+let measure ~bench ~unit_ f =
+  (* Start from an empty minor heap so the reported words are the
+     bench's own allocations, not a promotion of earlier garbage. *)
+  Gc.full_major ();
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let ops, sim_steps = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. m0 in
+  { bench; unit_; ops = float_of_int ops; sim_steps; wall_s; minor_words }
+
+(* ---- raw simulator steps --------------------------------------------- *)
+
+let bench_raw_sim ~trials () =
+  let n = 4 in
+  let iters = 50_000 * trials in
+  let sim =
+    Sim.create ~seed:1 ~max_steps:max_int ~n
+      ~adversary:(Adversary.round_robin ()) ()
+  in
+  let (module R) = Sim.runtime sim in
+  for i = 0 to n - 1 do
+    let r = R.make_reg ~name:(Printf.sprintf "r%d" i) 0 in
+    ignore
+      (Sim.spawn sim (fun () ->
+           for k = 1 to iters do
+             R.write r k;
+             ignore (R.read r)
+           done))
+  done;
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> failwith "raw-sim bench hit step limit");
+  let steps = Sim.clock sim in
+  (steps, Some (float_of_int steps))
+
+(* ---- embedded-snapshot scans ------------------------------------------ *)
+
+let bench_esnap ~trials () =
+  let n = 4 in
+  let pairs = 1_500 * trials in
+  let sim =
+    Sim.create ~seed:2 ~max_steps:max_int ~n
+      ~adversary:(Adversary.round_robin ()) ()
+  in
+  let module S = Bprc_snapshot.Embedded.Make ((val Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  for i = 0 to n - 1 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           for k = 1 to pairs do
+             S.write mem ((k * n) + i);
+             ignore (S.scan mem)
+           done))
+  done;
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> failwith "esnap bench hit step limit");
+  (n * pairs, Some (float_of_int (Sim.clock sim)))
+
+(* ---- end-to-end consensus decisions ----------------------------------- *)
+
+let bench_consensus ~trials () =
+  let n = 4 in
+  let runs = 12 * trials in
+  let decisions = ref 0 in
+  let steps = ref 0 in
+  for i = 1 to runs do
+    let r =
+      Run.consensus_once
+        ~algo:(Run.Ads Bprc_core.Ads89.Shared_walk)
+        ~pattern:Run.Random_inputs ~n ~seed:(0x7E5 + i) ()
+    in
+    if not r.Run.completed then failwith "consensus bench did not complete";
+    Array.iter
+      (function Some _ -> incr decisions | None -> ())
+      r.Run.decisions;
+    steps := !steps + r.Run.steps
+  done;
+  (!decisions, Some (float_of_int !steps))
+
+(* ---- bounded exhaustive exploration ----------------------------------- *)
+
+let explorer_setup sim =
+  let (module R) = Sim.runtime sim in
+  let r = R.make_reg ~name:"x" 0 in
+  for i = 0 to 2 do
+    ignore
+      (Sim.spawn sim (fun () ->
+           R.write r (i + 1);
+           ignore (R.read r)))
+  done;
+  fun () -> Ok ()
+
+let bench_explorer ~trials () =
+  let reps = 6 * trials in
+  let runs = ref 0 in
+  for _ = 1 to reps do
+    let stats =
+      Bprc_check.Explorer.explore ~n:3 ~max_steps:64 ~setup:explorer_setup ()
+    in
+    if not stats.Bprc_check.Explorer.exhausted then
+      failwith "explorer bench did not exhaust";
+    runs := !runs + stats.Bprc_check.Explorer.runs
+  done;
+  (!runs, None)
+
+(* ---- table / report --------------------------------------------------- *)
+
+let ops_per_sec s = s.ops /. s.wall_s
+let minor_per_op s = s.minor_words /. s.ops
+
+let row s =
+  [
+    s.bench;
+    s.unit_;
+    Table.fmt_float s.ops;
+    (match s.sim_steps with Some v -> Table.fmt_float v | None -> "-");
+    Printf.sprintf "%.4f" s.wall_s;
+    Table.fmt_float (ops_per_sec s);
+    (match s.sim_steps with
+    | Some v -> Table.fmt_float (v /. s.wall_s)
+    | None -> "-");
+    Printf.sprintf "%.2f" (minor_per_op s);
+  ]
+
+let table ~trials samples =
+  let metric name s suffix v = (name ^ "_" ^ suffix, v s) in
+  Table.make ~id:"THR"
+    ~title:(Printf.sprintf "simulator throughput (trials factor %d)" trials)
+    ~columns:
+      [
+        "bench"; "unit"; "ops"; "sim_steps"; "wall_s"; "ops_per_sec";
+        "steps_per_sec"; "minor_words_per_op";
+      ]
+    ~notes:
+      [
+        "ops_per_sec: higher is better; minor_words_per_op: lower is better";
+        "raw-sim ops are simulated steps, so its two rates coincide";
+      ]
+    ~metrics:
+      (List.concat_map
+         (fun s ->
+           [
+             metric s.bench s "ops_per_sec" ops_per_sec;
+             metric s.bench s "minor_words_per_op" minor_per_op;
+           ])
+         samples)
+    (List.map row samples)
+
+let usage_error msg =
+  Printf.eprintf "%s\n%!" msg;
+  exit 2
+
+let parse_args args =
+  let json = ref None
+  and trials = ref 8
+  and baseline = ref None
+  and ceiling = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: tl -> (
+      match tl with
+      | file :: tl' when String.length file > 0 && file.[0] <> '-' ->
+        json := Some file;
+        go tl'
+      | tl ->
+        json := Some "BENCH_throughput.json";
+        go tl)
+    | "--trials" :: v :: tl -> (
+      match int_of_string_opt v with
+      | Some k when k >= 1 ->
+        trials := k;
+        go tl
+      | _ -> usage_error "--trials expects a positive integer")
+    | "--baseline" :: file :: tl ->
+      baseline := Some file;
+      go tl
+    | "--assert-minor-words-per-step" :: v :: tl -> (
+      match float_of_string_opt v with
+      | Some c when c >= 0.0 ->
+        ceiling := Some c;
+        go tl
+      | _ -> usage_error "--assert-minor-words-per-step expects a number")
+    | a :: _ -> usage_error (Printf.sprintf "unknown argument %s" a)
+  in
+  go args;
+  (!json, !trials, !baseline, !ceiling)
+
+let read_baseline file =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Bprc_util.Json.of_string s with
+  | Ok j -> j
+  | Error e -> usage_error (Printf.sprintf "--baseline %s: %s" file e)
+
+let () =
+  let json, trials, baseline, ceiling =
+    parse_args (List.tl (Array.to_list Sys.argv))
+  in
+  let t0 = Unix.gettimeofday () in
+  let samples =
+    [
+      measure ~bench:"raw-sim" ~unit_:"step" (bench_raw_sim ~trials);
+      measure ~bench:"esnap-scan" ~unit_:"write+scan" (bench_esnap ~trials);
+      measure ~bench:"consensus" ~unit_:"decision" (bench_consensus ~trials);
+      measure ~bench:"explorer" ~unit_:"run" (bench_explorer ~trials);
+    ]
+  in
+  let total_wall_s = Unix.gettimeofday () -. t0 in
+  let tbl = table ~trials samples in
+  Table.print tbl;
+  Printf.printf "total wall time: %.1fs\n%!" total_wall_s;
+  (match json with
+  | None -> ()
+  | Some path ->
+    let report =
+      {
+        Report.date = Report.iso8601 (Unix.time ());
+        workers = 1;
+        quick = trials <= 2;
+        total_wall_s;
+        calibration = None;
+        entries = [ { Report.table = tbl; wall_s = total_wall_s } ];
+        extra =
+          [
+            ("kind_detail", Table.Str "bprc-throughput-report");
+            ( "baseline",
+              match baseline with
+              | None -> Table.Null
+              | Some file -> read_baseline file );
+          ];
+      }
+    in
+    Report.write ~path report;
+    Printf.printf "wrote %s\n%!" path);
+  match ceiling with
+  | None -> ()
+  | Some c ->
+    let raw = List.find (fun s -> s.bench = "raw-sim") samples in
+    let got = minor_per_op raw in
+    if got > c then begin
+      Printf.eprintf
+        "allocation regression: raw-sim allocates %.2f minor words/step \
+         (ceiling %.2f)\n\
+         %!"
+        got c;
+      exit 1
+    end
+    else
+      Printf.printf "raw-sim minor words/step: %.2f (ceiling %.2f) — ok\n%!"
+        got c

@@ -216,6 +216,7 @@ let experiment_cmd =
           total_wall_s = Unix.gettimeofday () -. t0;
           calibration = None;
           entries;
+          extra = [];
         }
       in
       Bprc_harness.Report.write ~path report;
@@ -263,11 +264,39 @@ let multi_cmd =
 
 (* --- trace ------------------------------------------------------------ *)
 
+(* Canonical digest of a full trace: every event rendered to a fixed
+   textual form, MD5-hashed.  Pinned by the golden determinism cram
+   test — any change to the simulator that perturbs scheduling, flip
+   draws, or event recording changes this value. *)
+let trace_digest tr =
+  let buf = Buffer.create 4096 in
+  Bprc_runtime.Trace.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d|%d|%d|%s|%s\n" e.Bprc_runtime.Trace.time e.pid
+           e.reg_id e.reg_name
+           (match e.kind with
+           | Bprc_runtime.Trace.Read -> "R"
+           | Bprc_runtime.Trace.Write -> "W"
+           | Bprc_runtime.Trace.Flip b -> if b then "F1" else "F0"
+           | Bprc_runtime.Trace.Step -> "S"
+           | Bprc_runtime.Trace.Note s -> "N:" ^ s)))
+    tr;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let trace_cmd =
   let steps_arg =
     Arg.(value & opt int 400 & info [ "steps" ] ~doc:"Steps to simulate.")
   in
-  let action n seed sched steps =
+  let digest_arg =
+    Arg.(
+      value & flag
+      & info [ "digest" ]
+          ~doc:
+            "Print an MD5 digest of the full event stream instead of the \
+             access statistics (golden determinism regression).")
+  in
+  let action n seed sched steps digest =
     let adversary =
       match sched with
       | Bprc_harness.Run.Random_sched -> Bprc_runtime.Adversary.random ()
@@ -290,13 +319,17 @@ let trace_cmd =
     match Bprc_runtime.Sim.trace sim with
     | None -> Fmt.epr "no trace recorded@."
     | Some tr ->
-      Fmt.pr "%a@." Bprc_runtime.Trace_stats.pp
-        (Bprc_runtime.Trace_stats.analyze tr ~n)
+      if digest then
+        Fmt.pr "%d events  md5 %s@." (Bprc_runtime.Trace.length tr)
+          (trace_digest tr)
+      else
+        Fmt.pr "%a@." Bprc_runtime.Trace_stats.pp
+          (Bprc_runtime.Trace_stats.analyze tr ~n)
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a consensus prefix with trace recording and print access              statistics.")
-    Term.(const action $ n_arg $ seed_arg $ sched_arg $ steps_arg)
+    Term.(const action $ n_arg $ seed_arg $ sched_arg $ steps_arg $ digest_arg)
 
 (* --- hunt ------------------------------------------------------------- *)
 

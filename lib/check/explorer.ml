@@ -1,6 +1,5 @@
 module Sim = Bprc_runtime.Sim
 module Adversary = Bprc_runtime.Adversary
-module Trace = Bprc_runtime.Trace
 module Vec = Bprc_util.Vec
 
 type setup = Sim.t -> unit -> (unit, string) result
@@ -24,27 +23,27 @@ type replay_outcome = Pass | Fail of string | Cutoff
 
 (* ---- step independence ------------------------------------------------ *)
 
-type access =
-  | Local  (* no shared-memory effect: flips, pre-first-suspension code *)
-  | Reg of { reg : int; write : bool }
-  | Opaque  (* explicit yields: may hide wrapper-level shared mutation *)
+(* Accesses are kept in {!Sim.last_access_code}'s packed-int form so
+   classifying a step allocates nothing:
+     -1                          local (no shared effect; includes flips)
+     ((reg + 1) lsl 2) lor k     k = 0 read, 1 write
+     3                           opaque (explicit yield: may hide
+                                 wrapper-level shared mutation)
+   Distinct registers give distinct [c lsr 2], and [c land 3] is the
+   kind, so independence is a few bit tests. *)
+let acc_local = -1
+let acc_opaque = 3
 
 let independent a b =
-  match (a, b) with
-  | Local, _ | _, Local -> true
-  | Opaque, _ | _, Opaque -> false
-  | Reg x, Reg y -> x.reg <> y.reg || ((not x.write) && not y.write)
+  if a = acc_local || b = acc_local then true
+  else if a land 3 = 3 || b land 3 = 3 then false
+  else a lsr 2 <> b lsr 2 || (a land 3 = 0 && b land 3 = 0)
 
 let access_of_step sim =
-  match Sim.last_access sim with
-  | None -> Local
-  | Some (reg, kind) -> (
-    match kind with
-    | Trace.Read -> Reg { reg; write = false }
-    | Trace.Write -> Reg { reg; write = true }
-    | Trace.Flip _ -> Local
-    | Trace.Step -> Opaque
-    | Trace.Note _ -> Local)
+  let c = Sim.last_access_code sim in
+  if c < 0 then acc_local
+  else if c land 3 = 2 then acc_local (* coin flips have no shared effect *)
+  else c
 
 (* ---- the DFS decision tree -------------------------------------------- *)
 
@@ -57,9 +56,9 @@ let access_of_step sim =
 type sched = {
   order : int array;
   mutable idx : int;
-  sleep_in : (int * access) list;
-  mutable slept : (int * access) list;
-  mutable access : access;
+  sleep_in : (int * int) list;  (* (pid, packed access code) *)
+  mutable slept : (int * int) list;
+  mutable access : int;  (* packed access code of the chosen branch *)
 }
 
 type fnode = { mutable value : bool }
@@ -79,10 +78,19 @@ let index_of arr pid =
 
 (* ---- replay of an explicit witness ------------------------------------ *)
 
-let replay ~n ?(max_steps = 2000) ~choices ~flips ~setup () =
+(* The adversary a simulator is (re)created with before the real one is
+   installed by [reset]; never actually asked to choose. *)
+let placeholder_adversary =
+  Adversary.make ~name:"explore-init" (fun ctx -> ctx.runnable.(0))
+
+(* Replay on an existing arena: [Sim.reset] guarantees bit-identical
+   behaviour to a fresh [Sim.create], so the explorer and the shrinker
+   reuse one simulator across their thousands of runs instead of
+   allocating processes, scratch buffers and RNG state every time. *)
+let replay_on sim ~choices ~flips ~setup =
   let fallback = Adversary.make ~name:"first" (fun ctx -> ctx.runnable.(0)) in
   let adversary = Adversary.scripted ~choices ~fallback () in
-  let sim = Sim.create ~seed:0 ~max_steps ~n ~adversary () in
+  Sim.reset ~adversary sim;
   let remaining = ref flips in
   Sim.set_flip_source sim (fun ~pid:_ ->
       match !remaining with
@@ -98,6 +106,12 @@ let replay ~n ?(max_steps = 2000) ~choices ~flips ~setup () =
     | Ok () -> (Pass, Sim.clock sim)
     | Error e -> (Fail e, Sim.clock sim))
 
+let replay ~n ?(max_steps = 2000) ~choices ~flips ~setup () =
+  let sim =
+    Sim.create ~seed:0 ~max_steps ~n ~adversary:placeholder_adversary ()
+  in
+  replay_on sim ~choices ~flips ~setup
+
 (* ---- exhaustive exploration ------------------------------------------- *)
 
 let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
@@ -112,6 +126,9 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
   let over_budget () =
     match deadline with None -> false | Some d -> Unix.gettimeofday () > d
   in
+  (* One arena for every run of this exploration (and for the shrink
+     replays below); each run rewinds it with [Sim.reset]. *)
+  let sim = Sim.create ~seed:0 ~max_steps ~n ~adversary:placeholder_adversary () in
   (* One run: replay the prefix recorded in [path], extend it with
      first-choice decisions, and report how it ended. *)
   let run_once () =
@@ -140,7 +157,7 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
           |> Array.of_list
         in
         if Array.length order = 0 then raise Prune;
-        let nd = { order; idx = 0; sleep_in; slept = []; access = Opaque } in
+        let nd = { order; idx = 0; sleep_in; slept = []; access = acc_opaque } in
         Vec.push path (Sched nd);
         let pid = nd.order.(0) in
         Vec.push run_choices (index_of ctx.runnable pid);
@@ -163,11 +180,7 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
         false
       end
     in
-    let sim =
-      Sim.create ~seed:0 ~max_steps ~n
-        ~adversary:(Adversary.make ~name:"explore" choose)
-        ()
-    in
+    Sim.reset ~adversary:(Adversary.make ~name:"explore" choose) sim;
     Sim.set_flip_source sim flip;
     let check = setup sim in
     let outcome =
@@ -242,7 +255,7 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
     | Some w when not shrink -> Some w
     | Some w ->
       let still_fails choices flips =
-        match replay ~n ~max_steps ~choices ~flips ~setup () with
+        match replay_on sim ~choices ~flips ~setup with
         | Fail _, _ -> true
         | (Pass | Cutoff), _ -> false
       in
@@ -254,7 +267,7 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
       let flips =
         Bprc_faults.Shrink.ddmin ~test:(fun fs -> still_fails choices fs) w.flips
       in
-      (match replay ~n ~max_steps ~choices ~flips ~setup () with
+      (match replay_on sim ~choices ~flips ~setup with
       | Fail failure, clock -> Some { choices; flips; failure; clock }
       | (Pass | Cutoff), _ -> Some w)
   in

@@ -1,17 +1,21 @@
 (** Bounded exhaustive schedule explorer (stateless model checking).
 
     Enumerates every schedule (and every coin-flip outcome) of a small
-    simulated configuration by repeatedly re-running it from scratch:
-    each run replays a prefix of scheduling/flip decisions recorded in a
+    simulated configuration by repeatedly re-running it: each run
+    replays a prefix of scheduling/flip decisions recorded in a
     persistent DFS tree, extends it greedily, and backtracks the deepest
     decision with an unexplored alternative.  The simulator is
     deterministic, so identical prefixes reach identical states and the
     tree enumerates exactly the reachable interleavings up to the step
-    bound.
+    bound.  All runs of one exploration (including shrink replays) share
+    a single simulator arena, rewound with {!Bprc_runtime.Sim.reset} —
+    which guarantees bit-identical behaviour to a fresh simulator — so
+    exploring thousands of schedules does not allocate thousands of
+    process tables.
 
     Redundant interleavings are pruned with sleep sets (Godefroid-style
     partial-order reduction) keyed on each step's shared-memory access,
-    as exposed by {!Bprc_runtime.Sim.last_access}: two steps commute
+    as exposed by {!Bprc_runtime.Sim.last_access_code}: two steps commute
     unless they touch the same register and at least one writes.  The
     reduction is sound only when all cross-process communication goes
     through register reads/writes; configurations whose processes share

@@ -15,6 +15,7 @@ type t = {
   total_wall_s : float;
   calibration : calibration option;
   entries : entry list;
+  extra : (string * Table.json) list;
 }
 
 let schema_version = 1
@@ -90,7 +91,7 @@ let calibration_json c =
 
 let to_json r =
   Table.Obj
-    [
+    ([
       ("schema_version", Table.Int schema_version);
       ("kind", Table.Str "bprc-bench-report");
       ("date", Table.Str r.date);
@@ -103,6 +104,7 @@ let to_json r =
         | Some c -> calibration_json c );
       ("experiments", Table.Arr (List.map entry_json r.entries));
     ]
+    @ r.extra)
 
 let to_string r = Table.json_to_string (to_json r)
 

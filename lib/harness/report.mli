@@ -30,6 +30,10 @@ type t = {
   total_wall_s : float;
   calibration : calibration option;
   entries : entry list;
+  extra : (string * Table.json) list;
+      (** report-specific top-level fields appended verbatim to the JSON
+          object (e.g. the embedded baseline of [BENCH_throughput.json]);
+          empty for the experiment driver *)
 }
 
 val schema_version : int

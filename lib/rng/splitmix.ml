@@ -10,6 +10,8 @@ let mix64 z =
 let create ~seed = { state = mix64 (Int64.of_int seed) }
 
 let copy t = { state = t.state }
+let reseed t ~seed = t.state <- mix64 (Int64.of_int seed)
+let assign t ~of_ = t.state <- of_.state
 
 let next64 t =
   t.state <- Int64.add t.state golden_gamma;
@@ -17,17 +19,22 @@ let next64 t =
 
 let bits30 t = Int64.to_int (Int64.shift_right_logical (next64 t) 34)
 
+(* The rejection loops are top-level (not closures over the bound) so a
+   draw allocates nothing beyond the boxed int64 state update. *)
+let rec draw_narrow t limit bound =
+  let r = bits30 t in
+  if r < limit then r mod bound else draw_narrow t limit bound
+
+let rec draw_wide t mask exact limit bound =
+  let r = Int64.to_int (Int64.shift_right_logical (next64 t) 2) land mask in
+  if exact || r < limit then r mod bound else draw_wide t mask exact limit bound
+
 let int t bound =
   if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
-  if bound <= 1 lsl 30 then begin
+  if bound <= 1 lsl 30 then
     (* Rejection sampling over 30 bits to avoid modulo bias. *)
     let limit = (1 lsl 30) / bound * bound in
-    let rec draw () =
-      let r = bits30 t in
-      if r < limit then r mod bound else draw ()
-    in
-    draw ()
-  end
+    draw_narrow t limit bound
   else begin
     (* Wide bound: rejection sampling over 62 bits.  The draw space has
        2^62 values (0..mask), so the acceptance region is the largest
@@ -38,11 +45,7 @@ let int t bound =
     let mask = (1 lsl 62) - 1 in
     let exact = mask mod bound = bound - 1 in
     let limit = if exact then mask else mask / bound * bound in
-    let rec draw () =
-      let r = Int64.to_int (Int64.shift_right_logical (next64 t) 2) land mask in
-      if exact || r < limit then r mod bound else draw ()
-    in
-    draw ()
+    draw_wide t mask exact limit bound
   end
 
 let bool t = Int64.logand (next64 t) 1L = 1L

@@ -1,6 +1,6 @@
 type ctx = {
-  clock : int;
-  runnable : int array;
+  mutable clock : int;
+  mutable runnable : int array;
   rng : Bprc_rng.Splitmix.t;
   trace : Trace.t option;
 }
@@ -9,15 +9,30 @@ type t = { name : string; choose : ctx -> int }
 
 let make ~name choose = { name; choose }
 
+(* Top-level so [choose] allocates no closure per step.  [i < m] is an
+   invariant ([m] is the array length and element 0 always exists when
+   the simulator calls [choose]), so the reads are unchecked. *)
+let rec rr_find candidates m nxt i =
+  let c = Array.unsafe_get candidates i in
+  if c >= nxt then c
+  else if i + 1 < m then rr_find candidates m nxt (i + 1)
+  else Array.unsafe_get candidates 0
+
 let round_robin () =
   let next = ref 0 in
   let choose ctx =
-    (* Smallest runnable pid strictly greater than the previous pick,
-       wrapping around: fair in any execution. *)
     let candidates = ctx.runnable in
     let m = Array.length candidates in
-    let rec find i = if candidates.(i) >= !next then candidates.(i) else if i + 1 < m then find (i + 1) else candidates.(0) in
-    let pid = find 0 in
+    let nxt = !next in
+    let pid =
+      (* Dense fast path: the runnable pids are sorted and distinct, so
+         last = m-1 means the set is exactly {0..m-1} and the scan's
+         answer is [nxt] itself (or the wrap to 0) — no data-dependent
+         loop, which would mispredict once per step. *)
+      if Array.unsafe_get candidates (m - 1) = m - 1 then
+        if nxt < m then nxt else Array.unsafe_get candidates 0
+      else rr_find candidates m nxt 0
+    in
     next := pid + 1;
     pid
   in

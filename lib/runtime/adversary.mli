@@ -6,8 +6,13 @@
     the simulated registers (via [peek]) and the trace. *)
 
 type ctx = {
-  clock : int;
-  runnable : int array;  (** pids that may be scheduled, sorted ascending *)
+  mutable clock : int;
+  mutable runnable : int array;
+      (** pids that may be scheduled, sorted ascending.  The simulator
+          reuses both the [ctx] record and the backing array across
+          steps (its hot path is allocation-free), so a [choose]
+          implementation must treat them as valid only for the duration
+          of the call: copy [runnable] before retaining it. *)
   rng : Bprc_rng.Splitmix.t;  (** adversary's own randomness stream *)
   trace : Trace.t option;  (** full history if recording was enabled *)
 }

@@ -16,6 +16,14 @@ let get_thread_pid () =
   Mutex.unlock thread_pids_mu;
   r
 
+(* Thread ids are reused by the runtime, so an entry left behind by a
+   finished thread would both leak and hand a stale pid to an unrelated
+   later thread.  Every systhread body removes its entry on exit. *)
+let clear_thread_pid () =
+  Mutex.lock thread_pids_mu;
+  Hashtbl.remove thread_pids (Thread.id (Thread.self ()));
+  Mutex.unlock thread_pids_mu
+
 let make_runtime ?(seed = 0) ~n () : (module Runtime_intf.S) =
   let master = Bprc_rng.Splitmix.create ~seed in
   let rngs = Array.init n (fun i -> Bprc_rng.Splitmix.fork master (i + 1)) in
@@ -65,11 +73,15 @@ let run ?(seed = 0) ?runtime ~n f =
   let body ~use_dls i () =
     (* In domain mode the pid lives in DLS; in systhread mode all
        threads share one domain's DLS, so the pid goes in the
-       thread-id-keyed map instead. *)
+       thread-id-keyed map instead — removed again on exit, since
+       thread ids are recycled. *)
     if use_dls then Domain.DLS.set pid_key i else set_thread_pid i;
-    match f rt i with
-    | v -> results.(i) <- Value v
-    | exception e -> results.(i) <- Error e
+    Fun.protect
+      ~finally:(fun () -> if not use_dls then clear_thread_pid ())
+      (fun () ->
+        match f rt i with
+        | v -> results.(i) <- Value v
+        | exception e -> results.(i) <- Error e)
   in
   let max_domains = max 1 (Domain.recommended_domain_count () - 1) in
   if n <= max_domains then begin

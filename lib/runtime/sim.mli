@@ -42,9 +42,26 @@ val create :
     newest events (see {!Trace.create}); ignored unless [record_trace]
     is set. *)
 
+val reset : ?seed:int -> ?adversary:Adversary.t -> t -> unit
+(** Rewind the simulator to the state a fresh {!create} with the same
+    [n], [max_steps] and trace configuration would produce, reusing the
+    arena (process slots, scheduling scratch buffers, trace storage)
+    instead of reallocating it.  All process slots empty ([spawn] must
+    be called [n] times again), the register-id counter restarts at 0,
+    flip source/observer are cleared, per-process RNG streams are
+    rewound, and the recorded trace (if any) is cleared.  [seed]
+    replaces the seed for this and subsequent resets (default: keep);
+    [adversary] replaces the adversary (default: keep).  A reset run is
+    bit-identical to one on a freshly created simulator — the schedule
+    explorer relies on this to avoid a [create] per replayed run.
+    Handles and registers from before the reset are orphaned: reading a
+    stale handle yields the old run's result, and using a stale
+    register raises no error but is meaningless. *)
+
 val runtime : t -> (module Runtime_intf.S)
 (** The shared-memory interface bound to this simulator instance.
-    Registers made from it belong to this instance only. *)
+    Registers made from it belong to this instance only.  The module
+    stays valid across {!reset}; registers must be re-made. *)
 
 val spawn : t -> (unit -> 'a) -> 'a handle
 (** Register process number [spawned-so-far] (pids are assigned 0,1,...).
@@ -96,9 +113,17 @@ val last_access : t -> (int * Trace.kind) option
     [(reg_id, kind)] for register reads/writes, [reg_id = -1] for coin
     flips and explicit yields.  [None] when the step performed no access
     at all (a process's initial segment before its first suspension).
-    Available whether or not trace recording is on; the schedule
-    explorer in [lib/check] uses it to compute step independence for
-    partial-order reduction. *)
+    Available whether or not trace recording is on.  Allocates its
+    result; per-step consumers should use {!last_access_code}. *)
+
+val last_access_code : t -> int
+(** Allocation-free variant of {!last_access}, packed into one
+    immediate int: [-1] when the step performed no access, otherwise
+    [((reg_id + 1) lsl 2) lor k] with [k] = 0 read, 1 write, 2 coin
+    flip, 3 explicit yield (flips and yields carry [reg_id = -1]).  The
+    schedule explorer in [lib/check] consumes this to compute step
+    independence for partial-order reduction without allocating on
+    every step. *)
 
 val note : t -> pid:int -> string -> unit
 (** Append an algorithm-level annotation to the trace (no-op when

@@ -9,11 +9,25 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     cells : 'a cell R.reg array;
     my_value : 'a array;
     my_seq : int array;
+    self_cells : 'a cell array;
+        (* self_cells.(p): cached dummy cell for p's own component,
+           rebuilt only by p's [write] instead of once per collect *)
+    collect_first : 'a cell array array;
+    collect_a : 'a cell array array;
+    collect_b : 'a cell array array;
+        (* per-scanner collect buffers: the first collect of a scan plus
+           two buffers the retry loop alternates between (the previous
+           collect must stay readable while the next one fills).  Scans
+           by different processes interleave, so the buffers are indexed
+           by pid; reusing them makes a collect allocation-free. *)
+    moved_once : bool array array;
     mutable retries : int;
     mutable borrow_count : int;
   }
 
   let create ?(name = "esnap") ~init () =
+    let cell0 = { value = init; seq = 0; view = [||] } in
+    let buffers () = Array.init R.n (fun _ -> Array.make R.n cell0) in
     {
       cells =
         Array.init R.n (fun j ->
@@ -22,23 +36,35 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
               { value = init; seq = 0; view = Array.make R.n init });
       my_value = Array.make R.n init;
       my_seq = Array.make R.n 0;
+      self_cells = Array.make R.n cell0;
+      collect_first = buffers ();
+      collect_a = buffers ();
+      collect_b = buffers ();
+      moved_once = Array.init R.n (fun _ -> Array.make R.n false);
       retries = 0;
       borrow_count = 0;
     }
 
-  let collect t me =
-    Array.init R.n (fun j ->
-        if j = me then
-          { value = t.my_value.(me); seq = t.my_seq.(me); view = [||] }
-        else R.read t.cells.(j))
+  (* Fill [out] with one collect.  The explicit ascending loop keeps the
+     register-read order (and hence the simulated schedule) identical to
+     the [Array.init] it replaces. *)
+  let collect_into t me out =
+    for j = 0 to R.n - 1 do
+      out.(j) <- (if j = me then t.self_cells.(me) else R.read t.cells.(j))
+    done
 
   let scan t =
     let me = R.pid () in
-    (* moved.(j): distinct seqs seen for j beyond the first collect. *)
-    let first = collect t me in
-    let moved_once = Array.make R.n false in
+    (* moved_once.(j): j was seen to move beyond the first collect. *)
+    let first = t.collect_first.(me) in
+    collect_into t me first;
+    let moved_once = t.moved_once.(me) in
+    Array.fill moved_once 0 R.n false;
     let rec attempt prev =
-      let cur = collect t me in
+      let cur =
+        if prev == t.collect_a.(me) then t.collect_b.(me) else t.collect_a.(me)
+      in
+      collect_into t me cur;
       let all_same = ref true in
       let borrowed = ref None in
       for j = 0 to R.n - 1 do
@@ -75,6 +101,7 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     let seq = t.my_seq.(me) + 1 in
     t.my_seq.(me) <- seq;
     t.my_value.(me) <- v;
+    t.self_cells.(me) <- { value = v; seq; view = [||] };
     R.write t.cells.(me) { value = v; seq; view }
 
   let scan_retries t = t.retries

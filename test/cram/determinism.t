@@ -1,0 +1,26 @@
+Golden fixed-seed trace digests.  Each line pins the exact event
+sequence (time, pid, register, kind) of a seeded run, so any change to
+the scheduler, the RNG streams, or trace recording shows up here as a
+digest mismatch.  These digests were recorded before the
+zero-allocation hot-path rewrite of the simulator and must survive any
+future optimization bit-for-bit.
+
+  $ BPRC=../../bin/bprc_cli.exe
+
+Default (random) adversary:
+
+  $ $BPRC trace --digest --seed 0 --steps 2000
+  1996 events  md5 80ca819ecdd3c5808b318f07fd1873a8
+
+Round-robin adversary:
+
+  $ $BPRC trace --digest --seed 0 --sched rr --steps 2000
+  1668 events  md5 2ab1f9af6adaf48b0800a501c9226166
+
+Bursty adversary, five processes, a different seed:
+
+  $ $BPRC trace --digest --seed 3 --procs 5 --sched bursty:7 --steps 3000
+  662 events  md5 57ffa6c3a736ea797d29dcb571cbd19e
+
+The digest is insensitive to how the trace is rendered, but the event
+count doubles as a quick sanity check that the run actually executed.

@@ -185,6 +185,7 @@ let test_report_json () =
             deterministic = true;
           };
       entries = [ { Report.table; wall_s = 0.25 } ];
+      extra = [];
     }
   in
   let s = Report.to_string r in
