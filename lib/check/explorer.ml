@@ -91,6 +91,10 @@ let replay_on sim ~choices ~flips ~setup =
   let fallback = Adversary.make ~name:"first" (fun ctx -> ctx.runnable.(0)) in
   let adversary = Adversary.scripted ~choices ~fallback () in
   Sim.reset ~adversary sim;
+  (* Witness replays keep choice validation on: a script recorded
+     against a different runnable set must fail fast, not silently step
+     the wrong process. *)
+  Sim.set_validate sim true;
   let remaining = ref flips in
   Sim.set_flip_source sim (fun ~pid:_ ->
       match !remaining with

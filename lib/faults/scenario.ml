@@ -30,7 +30,12 @@ let sim_of ~mode ~seed ~max_steps ~n =
   let sim = Sim.create ~seed ~max_steps ~n ~adversary () in
   (match mode with
   | Record -> Record.attach recorder sim
-  | Replay { flips; _ } -> Replay.attach ~flips ~seed sim);
+  | Replay { flips; _ } ->
+    (* Replays validate every scripted choice against the runnable set:
+       a witness recorded against a different schedule must fail fast,
+       not silently replay with wrong semantics. *)
+    Sim.set_validate sim true;
+    Replay.attach ~flips ~seed sim);
   (sim, recorder)
 
 let result_of ~recorder ~sim failure =

@@ -42,14 +42,32 @@ let access_flip = 2
 let access_yield = 3
 let[@inline always] access_code ~reg_id k = ((reg_id + 1) lsl 2) lor k
 
-(* O(n) validation that the adversary's choice was actually runnable is
-   debug-only: enable with BPRC_SIM_DEBUG=1.  A wrong pid still fails
-   fast without it ([step_pid] rejects non-runnable statuses), just with
-   a less precise message for stalled-but-suspended processes. *)
-let validate_choice =
+(* BPRC_SIM_DEBUG=1 turns on the per-step internal checks: the O(n)
+   adversary-choice validation (also switchable per simulator with
+   [set_validate] — replay paths force it on) and the status/kont shape
+   assertion guarding the [Obj.obj] casts in [step_pid]. *)
+let debug =
   match Sys.getenv_opt "BPRC_SIM_DEBUG" with
   | None | Some ("" | "0" | "false") -> false
   | Some _ -> true
+
+(* Assert that the [kont] payload physically matches its status tag
+   before the unchecked casts: an unstarted body is a closure, a pending
+   continuation is a continuation block, every other status carries
+   [kont_none].  Any future drift between a tag and its payload type
+   then raises here instead of turning into undefined behavior. *)
+let check_kont_shape st (payload : Obj.t) =
+  let ok =
+    if st = st_not_started then
+      Obj.is_block payload && Obj.tag payload = Obj.closure_tag
+    else if st = st_suspended || st = st_pending_flip then
+      Obj.is_block payload && Obj.tag payload = Obj.cont_tag
+    else payload == kont_none
+  in
+  if not ok then
+    invalid_arg
+      (Printf.sprintf
+         "Sim.step_pid: kont payload shape does not match status tag %d" st)
 
 type t = {
   n : int;
@@ -76,8 +94,13 @@ type t = {
          [runnable_dirty] is unset and no stall is pending *)
   mutable runnable_dirty : bool;
   mutable max_stall : int;
-      (* no process has [stall_until > clock] once [clock >= max_stall];
-         while a stall may still bite, the cache is rebuilt every step *)
+      (* the runnable set last changes because of stalls at
+         [clock = max_stall] (a pid with [stall_until = max_stall] joins
+         exactly then); the cache is rebuilt every step up to and
+         including that clock, and trusted afterwards *)
+  mutable validate : bool;
+      (* check every adversary choice against the runnable set it was
+         shown; O(n) per step, so off by default — see [set_validate] *)
 }
 
 type 'a handle = { cell : 'a option ref }
@@ -139,6 +162,7 @@ let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false)
     runnable_cache = [||];
     runnable_dirty = true;
     max_stall = 0;
+    validate = debug;
   }
 
 let reset ?seed ?adversary t =
@@ -247,6 +271,7 @@ let[@inline always] step_pid t pid =
   t.current <- pid;
   let st = p.status in
   let payload = p.kont in
+  if debug then check_kont_shape st payload;
   p.status <- st_running;
   (if st = st_suspended then continue (Obj.obj payload : (unit, unit) continuation) ()
    else if st = st_pending_flip then begin
@@ -301,9 +326,13 @@ let rebuild_runnable t =
 (* Membership in the runnable set depends only on process statuses and
    pending stalls, and a step leaves its process runnable unless it
    finished — so the scan is skipped entirely on the common path and
-   redone only when a status changed or a stall may still expire. *)
+   redone only when a status changed or a stall may still expire.  The
+   stall condition is inclusive: a pid with [stall_until = max_stall]
+   joins the set exactly at [clock = max_stall], so the rebuild at that
+   clock must still happen or the cache goes stale with the pid starved
+   until an unrelated status change. *)
 let[@inline always] runnable_pids t =
-  if t.runnable_dirty || t.clock < t.max_stall then rebuild_runnable t
+  if t.runnable_dirty || t.clock <= t.max_stall then rebuild_runnable t
   else t.runnable_cache
 
 let[@inline always] step_inline t =
@@ -317,7 +346,7 @@ let[@inline always] step_inline t =
     if ctx.Adversary.runnable != runnable then
       ctx.Adversary.runnable <- runnable;
     let pid = t.adversary.choose ctx in
-    if validate_choice && not (Array.exists (fun p -> p = pid) runnable) then
+    if t.validate && not (Array.exists (fun p -> p = pid) runnable) then
       invalid_arg
         (Printf.sprintf "Sim.step: adversary %s chose non-runnable pid %d"
            t.adversary.name pid);
@@ -389,6 +418,7 @@ let last_access t =
 
 let set_flip_source t f = t.flip_source <- Some f
 let set_flip_observer t f = t.flip_observer <- Some f
+let set_validate t on = t.validate <- on
 
 (* A yield performed outside any fiber (setup or checker code) must be
    a no-op rather than an error, so register helpers can be reused for

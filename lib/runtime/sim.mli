@@ -138,3 +138,13 @@ val set_flip_observer : t -> (pid:int -> bool -> unit) -> unit
 (** Install a callback invoked after every coin flip with the flipping
     pid and the drawn value, whatever the source.  Used by the fault
     subsystem's recorder to capture the flip sequence of a run. *)
+
+val set_validate : t -> bool -> unit
+(** Enable (or disable) the O(n)-per-step check that every adversary
+    choice is a member of the runnable set it was shown, raising
+    [Invalid_argument] on violation.  Off by default for throughput
+    (BPRC_SIM_DEBUG=1 flips the default on); witness-replay paths — the
+    explorer's [Explorer.replay] and the fault subsystem's scripted
+    replays — turn it on so a corrupted or divergent witness fails fast
+    instead of silently stepping a wrong process.  Sticky across
+    {!reset}. *)

@@ -613,6 +613,38 @@ let test_stall_delays_process () =
   Alcotest.(check (list int)) "p1 ran to completion before stalled p0"
     [ 1; 1; 1; 0; 0; 0 ] (List.rev !order)
 
+let test_stall_expiry_reschedules () =
+  (* Regression: the runnable cache must be rebuilt at clock = stall
+     expiry, not only strictly before it.  With the rebuild condition
+     [clock < max_stall], the last rebuild (at clock = max_stall - 1)
+     still excluded the stalled pid and the stale cache was then reused
+     forever, starving the process until an unrelated status change. *)
+  let sim = Sim.create ~seed:9 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  let (module R) = Sim.runtime sim in
+  let body () =
+    for _ = 1 to 10 do
+      R.yield ()
+    done
+  in
+  ignore (Sim.spawn sim body);
+  ignore (Sim.spawn sim body);
+  Sim.stall sim 1 ~steps:3;
+  (* Clocks 0..2: only pid 0 is runnable. *)
+  for _ = 1 to 3 do
+    ignore (Sim.step sim)
+  done;
+  Alcotest.(check int) "stalled pid took no step before expiry" 0
+    (Sim.steps_of sim 1);
+  (* At clock = 3 the stall has expired and round-robin (having just run
+     pid 0) must schedule pid 1 immediately. *)
+  ignore (Sim.step sim);
+  Alcotest.(check int) "stalled pid rescheduled at exactly stall expiry" 1
+    (Sim.steps_of sim 1);
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "run must complete after the stall");
+  Alcotest.(check bool) "stalled pid finished" true (Sim.finished sim 1)
+
 let test_stall_everyone_cannot_deadlock () =
   (* When every runnable process is stalled the stalls are ignored
      rather than deadlocking the run. *)
@@ -698,6 +730,8 @@ let faults_support_suite =
       test_trace_ring_rejects_bad_capacity;
     Alcotest.test_case "trace: sim ring mode" `Quick test_sim_trace_capacity;
     Alcotest.test_case "stall: delays process" `Quick test_stall_delays_process;
+    Alcotest.test_case "stall: rescheduled at exact expiry" `Quick
+      test_stall_expiry_reschedules;
     Alcotest.test_case "stall: cannot deadlock" `Quick
       test_stall_everyone_cannot_deadlock;
     Alcotest.test_case "flip observer" `Quick test_flip_observer;
