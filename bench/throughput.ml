@@ -20,15 +20,23 @@
                  with nothing else on top (ops = simulated steps)
      esnap-scan  n=4 processes doing write+scan pairs on the embedded-
                  scan snapshot (ops = write+scan pairs; a write embeds
-                 a full scan, so each pair costs two collect sweeps)
+                 a full scan, so each pair costs two collect sweeps;
+                 the explicit scan reuses a view buffer via scan_into)
      consensus   end-to-end ADS89 shared-walk decisions over random
                  inputs (ops = decided processes)
      explorer    bounded exhaustive exploration of a 3-process
                  write-then-read config (ops = exploration runs)
+     explorer-parN  the snapshot-atomic registry config explored
+                 unreduced (30k-run tree) over a N-worker pool
+                 (ops = exploration runs; par1 is the scaling
+                 baseline, and all N must report identical run
+                 counts — checked)
 
-   Every rate is single-domain on purpose: this suite measures the hot
-   path itself; cross-domain scaling is covered by the calibration
-   section of the main bench driver. *)
+   The substrate rows are single-domain on purpose: this suite measures
+   the hot path itself.  The explorer-parN rows are the exception —
+   they exist to track how schedule exploration scales across domains
+   (their run counts are bit-identical by construction, only the rate
+   moves). *)
 
 module Sim = Bprc_runtime.Sim
 module Adversary = Bprc_runtime.Adversary
@@ -93,9 +101,12 @@ let bench_esnap ~trials () =
   for i = 0 to n - 1 do
     ignore
       (Sim.spawn sim (fun () ->
+           (* One view buffer per scanning process, reused across all
+              its scans: the explicit scan itself allocates nothing. *)
+           let view = Array.make n 0 in
            for k = 1 to pairs do
              S.write mem ((k * n) + i);
-             ignore (S.scan mem)
+             S.scan_into mem view
            done))
   done;
   (match Sim.run sim with
@@ -150,6 +161,31 @@ let bench_explorer ~trials () =
   done;
   (!runs, None)
 
+(* The scaling rows: one full unreduced sweep of the snapshot-atomic
+   registry configuration (~30k schedules) per trial, fanned over a
+   pool.  The run counts are bit-identical at any worker count (the
+   explorer guarantees it); the driver cross-checks that below. *)
+let bench_explorer_par ~workers ~trials () =
+  let cfg =
+    match Bprc_check.Config.find "snapshot-atomic" with
+    | Some c -> c
+    | None -> failwith "snapshot-atomic config missing"
+  in
+  let pool = Pool.create ~workers () in
+  let runs = ref 0 in
+  for _ = 1 to trials do
+    let stats =
+      Bprc_check.Explorer.explore ~n:cfg.Bprc_check.Config.n
+        ~max_steps:cfg.Bprc_check.Config.max_steps ~reduction:false ~pool
+        ~setup:cfg.Bprc_check.Config.setup ()
+    in
+    if not stats.Bprc_check.Explorer.exhausted then
+      failwith "explorer-par bench did not exhaust";
+    runs := !runs + stats.Bprc_check.Explorer.runs
+  done;
+  Pool.shutdown pool;
+  (!runs, None)
+
 (* ---- table / report --------------------------------------------------- *)
 
 let ops_per_sec s = s.ops /. s.wall_s
@@ -182,6 +218,8 @@ let table ~trials samples =
       [
         "ops_per_sec: higher is better; minor_words_per_op: lower is better";
         "raw-sim ops are simulated steps, so its two rates coincide";
+        "explorer-parN minor words count the driving domain only \
+         (Gc.minor_words is per-domain); compare rates, not words";
       ]
     ~metrics:
       (List.concat_map
@@ -201,7 +239,16 @@ let parse_args args =
   let json = ref None
   and trials = ref 8
   and baseline = ref None
-  and ceiling = ref None in
+  and ceiling = ref None
+  and esnap_ceiling = ref None
+  and esnap_obj_ceiling = ref None in
+  let number what r v tl go =
+    match float_of_string_opt v with
+    | Some c when c >= 0.0 ->
+      r := Some c;
+      go tl
+    | _ -> usage_error (what ^ " expects a number")
+  in
   let rec go = function
     | [] -> ()
     | "--json" :: tl -> (
@@ -221,16 +268,16 @@ let parse_args args =
     | "--baseline" :: file :: tl ->
       baseline := Some file;
       go tl
-    | "--assert-minor-words-per-step" :: v :: tl -> (
-      match float_of_string_opt v with
-      | Some c when c >= 0.0 ->
-        ceiling := Some c;
-        go tl
-      | _ -> usage_error "--assert-minor-words-per-step expects a number")
+    | "--assert-minor-words-per-step" :: v :: tl ->
+      number "--assert-minor-words-per-step" ceiling v tl go
+    | "--assert-esnap-words-per-op" :: v :: tl ->
+      number "--assert-esnap-words-per-op" esnap_ceiling v tl go
+    | "--assert-esnap-obj-words-per-op" :: v :: tl ->
+      number "--assert-esnap-obj-words-per-op" esnap_obj_ceiling v tl go
     | a :: _ -> usage_error (Printf.sprintf "unknown argument %s" a)
   in
   go args;
-  (!json, !trials, !baseline, !ceiling)
+  (!json, !trials, !baseline, !ceiling, !esnap_ceiling, !esnap_obj_ceiling)
 
 let read_baseline file =
   let ic = open_in file in
@@ -242,7 +289,7 @@ let read_baseline file =
   | Error e -> usage_error (Printf.sprintf "--baseline %s: %s" file e)
 
 let () =
-  let json, trials, baseline, ceiling =
+  let json, trials, baseline, ceiling, esnap_ceiling, esnap_obj_ceiling =
     parse_args (List.tl (Array.to_list Sys.argv))
   in
   let t0 = Unix.gettimeofday () in
@@ -252,8 +299,30 @@ let () =
       measure ~bench:"esnap-scan" ~unit_:"write+scan" (bench_esnap ~trials);
       measure ~bench:"consensus" ~unit_:"decision" (bench_consensus ~trials);
       measure ~bench:"explorer" ~unit_:"run" (bench_explorer ~trials);
+      measure ~bench:"explorer-par1" ~unit_:"run"
+        (bench_explorer_par ~workers:1 ~trials);
+      measure ~bench:"explorer-par2" ~unit_:"run"
+        (bench_explorer_par ~workers:2 ~trials);
+      measure ~bench:"explorer-par4" ~unit_:"run"
+        (bench_explorer_par ~workers:4 ~trials);
     ]
   in
+  (* The parallel explorer rows must agree on the work done: identical
+     trees, identical run counts, only the rate may differ. *)
+  (match
+     List.filter_map
+       (fun s ->
+         if String.starts_with ~prefix:"explorer-par" s.bench then Some s.ops
+         else None)
+       samples
+   with
+  | ops0 :: rest when List.exists (fun o -> o <> ops0) rest ->
+    Printf.eprintf
+      "explorer-parN rows disagree on run counts: worker-count \
+       determinism is broken\n\
+       %!";
+    exit 1
+  | _ -> ());
   let total_wall_s = Unix.gettimeofday () -. t0 in
   let tbl = table ~trials samples in
   Table.print tbl;
@@ -281,19 +350,30 @@ let () =
     in
     Report.write ~path report;
     Printf.printf "wrote %s\n%!" path);
-  match ceiling with
-  | None -> ()
-  | Some c ->
-    let raw = List.find (fun s -> s.bench = "raw-sim") samples in
-    let got = minor_per_op raw in
-    if got > c then begin
-      Printf.eprintf
-        "allocation regression: raw-sim allocates %.2f minor words/step \
-         (ceiling %.2f)\n\
-         %!"
-        got c;
-      exit 1
-    end
-    else
-      Printf.printf "raw-sim minor words/step: %.2f (ceiling %.2f) — ok\n%!"
-        got c
+  let check_ceiling ~what ~got = function
+    | None -> ()
+    | Some c ->
+      if got > c then begin
+        Printf.eprintf "allocation regression: %s = %.2f (ceiling %.2f)\n%!"
+          what got c;
+        exit 1
+      end
+      else Printf.printf "%s: %.2f (ceiling %.2f) — ok\n%!" what got c
+  in
+  let raw = List.find (fun s -> s.bench = "raw-sim") samples in
+  check_ceiling ~what:"raw-sim minor words/step" ~got:(minor_per_op raw)
+    ceiling;
+  let esnap = List.find (fun s -> s.bench = "esnap-scan") samples in
+  check_ceiling ~what:"esnap-scan minor words/op" ~got:(minor_per_op esnap)
+    esnap_ceiling;
+  (* The object-allocation metric: total minor words minus the
+     simulator's own 2-words-per-step effect-continuation cost, which
+     no snapshot-level change can remove (13 steps/op = a 26-word
+     floor).  This is the number the Embedded optimization controls. *)
+  let esnap_obj =
+    match esnap.sim_steps with
+    | Some steps -> (esnap.minor_words -. (2.0 *. steps)) /. esnap.ops
+    | None -> minor_per_op esnap
+  in
+  check_ceiling ~what:"esnap-scan object words/op" ~got:esnap_obj
+    esnap_obj_ceiling

@@ -409,13 +409,14 @@ let hunt_cmd =
   in
   let action scenario trials seed n budget_s out json workers =
     let pool = pool_of_workers workers in
-    let map f idxs =
-      let arr = Array.of_list idxs in
-      Bprc_harness.Pool.map pool (Array.length arr) (fun j -> f arr.(j))
-      |> Array.to_list
-    in
+    let map f idxs = Bprc_harness.Pool.map_list pool f idxs in
+    (* Batch sizing follows the pool width: each budget check costs one
+       barrier, so wider pools hunt in proportionally larger batches to
+       keep every domain busy between checks.  Outcomes stay
+       batch-independent (lowest failing trial index wins). *)
+    let batch = max 64 (16 * Bprc_harness.Pool.workers pool) in
     let outcome =
-      Bprc_faults.Hunt.run ?budget_s ~map ~scenario ~trials ~seed ~n ()
+      Bprc_faults.Hunt.run ?budget_s ~batch ~map ~scenario ~trials ~seed ~n ()
     in
     let summary fields =
       if json then
@@ -698,7 +699,7 @@ let check_cmd =
           exit exit_budget))
   in
   let action configs list max_runs max_steps budget_s out json no_shrink
-      replay_file =
+      replay_file workers =
     if list then begin
       List.iter
         (fun c ->
@@ -724,6 +725,7 @@ let check_cmd =
                 exit 2)
             names
       in
+      let pool = pool_of_workers workers in
       let results =
         (* Stop exploring further configurations at the first violation,
            mirroring hunt's stop-at-first-failure. *)
@@ -732,7 +734,7 @@ let check_cmd =
           | cfg :: rest ->
             let stats =
               Bprc_check.Config.run ~max_runs ?max_steps ?budget_s
-                ~shrink:(not no_shrink) cfg
+                ~shrink:(not no_shrink) ~pool cfg
             in
             if not json then begin
               match stats.Bprc_check.Explorer.violation with
@@ -820,6 +822,8 @@ let check_cmd =
                 [
                   ("kind", Bprc_util.Json.Str "bprc-check-report");
                   ("version", Bprc_util.Json.Int 1);
+                  ( "workers",
+                    Bprc_util.Json.Int (Bprc_harness.Pool.workers pool) );
                   ("outcome", Bprc_util.Json.Str outcome);
                   ( "configs",
                     Bprc_util.Json.Arr (List.map config_json results) );
@@ -837,11 +841,13 @@ let check_cmd =
          "Exhaustively explore the schedules of small configurations \
           (linearizability + P1-P3 + consensus spec on every completed \
           run); on violation, write a ddmin-minimized replayable witness \
-          schedule.  Exit codes: 0 every configuration exhausted clean, 1 \
-          violation found, 124 exploration bound hit first.")
+          schedule.  Reports are bit-identical at any --workers count.  \
+          Exit codes: 0 every configuration exhausted clean, 1 violation \
+          found, 124 exploration bound hit first.")
     Term.(
       const action $ configs_arg $ list_arg $ max_runs_arg $ max_steps_arg
-      $ budget_arg $ out_arg $ json_arg $ no_shrink_arg $ replay_arg)
+      $ budget_arg $ out_arg $ json_arg $ no_shrink_arg $ replay_arg
+      $ workers_opt_arg)
 
 let main =
   Cmd.group

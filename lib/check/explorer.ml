@@ -1,6 +1,7 @@
 module Sim = Bprc_runtime.Sim
 module Adversary = Bprc_runtime.Adversary
 module Vec = Bprc_util.Vec
+module Pool = Bprc_harness.Pool
 
 type setup = Sim.t -> unit -> (unit, string) result
 
@@ -67,6 +68,11 @@ type node = Sched of sched | Flip of fnode
 
 exception Prune
 
+(* Raised by the split phase when a run reaches the frontier depth:
+   the run is abandoned and its decision prefix becomes a subtree for
+   the worker phase. *)
+exception Frontier_hit
+
 let index_of arr pid =
   let n = Array.length arr in
   let rec go i =
@@ -116,72 +122,153 @@ let replay ~n ?(max_steps = 2000) ~choices ~flips ~setup () =
   in
   replay_on sim ~choices ~flips ~setup
 
-(* ---- exhaustive exploration ------------------------------------------- *)
+(* ---- subtrees ---------------------------------------------------------- *)
 
-let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
-    ?(reduction = true) ?(shrink = true) ~setup () =
-  let path : node Vec.t = Vec.create () in
-  let runs = ref 0 in
-  let pruned = ref 0 in
-  let step_limited = ref 0 in
-  let exhausted = ref false in
-  let violation = ref None in
-  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) budget_s in
-  let over_budget () =
+(* A shard of the decision tree: a frozen decision prefix plus DFS
+   state for everything below it.  The prefix stores schedule decisions
+   as runnable-array indices (what a replay needs) and coin decisions
+   as raw booleans; [sb_seed] is the sleep set pending at the frontier,
+   so sleep-set reduction below the prefix starts exactly where the
+   sequential walk would have it.  Each subtree owns a lazily created
+   simulator arena, so a worker exploring it never shares mutable
+   state with any other shard. *)
+type subtree = {
+  sb_choices : int array;
+  sb_flips : bool array;
+  sb_seed : (int * int) list;
+  sb_path : node Vec.t;
+  mutable sb_sim : Sim.t option;
+  mutable sb_runs : int;
+  mutable sb_pruned : int;
+  mutable sb_cutoff : int;
+  mutable sb_done : bool;  (* every schedule below the prefix explored *)
+  mutable sb_violation : witness option;
+}
+
+let subtree_make ~choices ~flips ~seed =
+  {
+    sb_choices = choices;
+    sb_flips = flips;
+    sb_seed = seed;
+    sb_path = Vec.create ();
+    sb_sim = None;
+    sb_runs = 0;
+    sb_pruned = 0;
+    sb_cutoff = 0;
+    sb_done = false;
+    sb_violation = None;
+  }
+
+(* Explore [sub]'s shard depth-first for at most [quota] completed runs
+   (pruned and step-limited runs count: each consumes a schedule), or
+   until the shard is exhausted, a violation is found, or [deadline]
+   passes.  State accumulates in [sub], so successive calls resume the
+   DFS where the previous quota ran out.
+
+   During the split phase [frontier = Some (depth, register)]: the
+   first *scheduling* decision at global position [>= depth] is not
+   taken — the pending prefix (choices, flips, sleep set) is handed to
+   [register] and the run is abandoned, counted in neither [runs] nor
+   [pruned] (the registered subtree accounts for every schedule below
+   it).  Coin flips never trigger the frontier, so a prefix always ends
+   on a completed step and the captured sleep set is exactly the one
+   the sequential walk would carry into that scheduling point. *)
+let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline ?frontier sub
+    =
+  let sim =
+    match sub.sb_sim with
+    | Some s -> s
+    | None ->
+      let s =
+        Sim.create ~seed:0 ~max_steps ~n ~adversary:placeholder_adversary ()
+      in
+      sub.sb_sim <- Some s;
+      s
+  in
+  let path = sub.sb_path in
+  let plen = Array.length sub.sb_choices + Array.length sub.sb_flips in
+  let did = ref 0 in
+  let over_deadline () =
     match deadline with None -> false | Some d -> Unix.gettimeofday () > d
   in
-  (* One arena for every run of this exploration (and for the shrink
-     replays below); each run rewinds it with [Sim.reset]. *)
-  let sim = Sim.create ~seed:0 ~max_steps ~n ~adversary:placeholder_adversary () in
-  (* One run: replay the prefix recorded in [path], extend it with
-     first-choice decisions, and report how it ended. *)
   let run_once () =
     let pos = ref 0 in
+    let ci = ref 0 in
+    let fi = ref 0 in
     let run_choices = Vec.create () in
     let run_flips = Vec.create () in
     let current = ref None in
-    let pending_sleep = ref [] in
+    let pending_sleep = ref sub.sb_seed in
     let choose (ctx : Adversary.ctx) =
       let p = !pos in
       incr pos;
-      if p < Vec.length path then (
-        match Vec.get path p with
-        | Sched nd ->
-          let pid = nd.order.(nd.idx) in
+      if p < plen then begin
+        (* Replaying the frozen prefix: the simulator state is
+           bit-identical to when the split phase recorded it, so the
+           stored runnable index picks the same process. *)
+        let k = sub.sb_choices.(!ci) in
+        incr ci;
+        Vec.push run_choices k;
+        ctx.runnable.(k)
+      end
+      else begin
+        let rel = p - plen in
+        if rel < Vec.length path then (
+          match Vec.get path rel with
+          | Sched nd ->
+            let pid = nd.order.(nd.idx) in
+            Vec.push run_choices (index_of ctx.runnable pid);
+            current := Some nd;
+            pid
+          | Flip _ -> failwith "Explorer: schedule/flip divergence")
+        else begin
+          (match frontier with
+          | Some (depth, register) when p >= depth ->
+            register (Vec.to_array run_choices) (Vec.to_array run_flips)
+              !pending_sleep;
+            raise Frontier_hit
+          | _ -> ());
+          let sleep_in = if reduction then !pending_sleep else [] in
+          let sleeping = List.map fst sleep_in in
+          let order =
+            ctx.runnable |> Array.to_list
+            |> List.filter (fun pid -> not (List.mem pid sleeping))
+            |> Array.of_list
+          in
+          if Array.length order = 0 then raise Prune;
+          let nd =
+            { order; idx = 0; sleep_in; slept = []; access = acc_opaque }
+          in
+          Vec.push path (Sched nd);
+          let pid = nd.order.(0) in
           Vec.push run_choices (index_of ctx.runnable pid);
           current := Some nd;
           pid
-        | Flip _ -> failwith "Explorer: schedule/flip divergence")
-      else begin
-        let sleep_in = if reduction then !pending_sleep else [] in
-        let sleeping = List.map fst sleep_in in
-        let order =
-          ctx.runnable |> Array.to_list
-          |> List.filter (fun pid -> not (List.mem pid sleeping))
-          |> Array.of_list
-        in
-        if Array.length order = 0 then raise Prune;
-        let nd = { order; idx = 0; sleep_in; slept = []; access = acc_opaque } in
-        Vec.push path (Sched nd);
-        let pid = nd.order.(0) in
-        Vec.push run_choices (index_of ctx.runnable pid);
-        current := Some nd;
-        pid
+        end
       end
     in
     let flip ~pid:_ =
       let p = !pos in
       incr pos;
-      if p < Vec.length path then (
-        match Vec.get path p with
-        | Flip f ->
-          Vec.push run_flips f.value;
-          f.value
-        | Sched _ -> failwith "Explorer: schedule/flip divergence")
+      if p < plen then begin
+        let b = sub.sb_flips.(!fi) in
+        incr fi;
+        Vec.push run_flips b;
+        b
+      end
       else begin
-        Vec.push path (Flip { value = false });
-        Vec.push run_flips false;
-        false
+        let rel = p - plen in
+        if rel < Vec.length path then (
+          match Vec.get path rel with
+          | Flip f ->
+            Vec.push run_flips f.value;
+            f.value
+          | Sched _ -> failwith "Explorer: schedule/flip divergence")
+        else begin
+          Vec.push path (Flip { value = false });
+          Vec.push run_flips false;
+          false
+        end
       end
     in
     Sim.reset ~adversary:(Adversary.make ~name:"explore" choose) sim;
@@ -205,11 +292,14 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
         end
         else `Done
       in
-      try drive () with Prune -> `Pruned
+      try drive () with
+      | Prune -> `Pruned
+      | Frontier_hit -> `Frontier
     in
     match outcome with
     | `Pruned -> `Pruned
     | `Cutoff -> `Cutoff
+    | `Frontier -> `Frontier
     | `Done -> (
       match check () with
       | Ok () -> `Pass
@@ -222,44 +312,169 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
             clock = Sim.clock sim;
           })
   in
-  (* Backtrack to the deepest decision with an unexplored alternative;
-     sets [exhausted] when none is left. *)
+  (* Backtrack to the deepest decision below the prefix with an
+     unexplored alternative; marks the shard done when none is left. *)
   let rec backtrack () =
     match Vec.last path with
-    | None -> exhausted := true
+    | None -> sub.sb_done <- true
     | Some (Flip f) ->
-        if f.value then begin
-          ignore (Vec.pop path);
-          backtrack ()
-        end
-        else f.value <- true
+      if f.value then begin
+        ignore (Vec.pop path);
+        backtrack ()
+      end
+      else f.value <- true
     | Some (Sched nd) ->
-        nd.slept <- (nd.order.(nd.idx), nd.access) :: nd.slept;
-        if nd.idx + 1 < Array.length nd.order then nd.idx <- nd.idx + 1
-        else begin
-          ignore (Vec.pop path);
-          backtrack ()
-        end
+      nd.slept <- (nd.order.(nd.idx), nd.access) :: nd.slept;
+      if nd.idx + 1 < Array.length nd.order then nd.idx <- nd.idx + 1
+      else begin
+        ignore (Vec.pop path);
+        backtrack ()
+      end
   in
   while
-    (not !exhausted) && !violation = None && !runs < max_runs
-    && not (over_budget ())
+    (not sub.sb_done)
+    && sub.sb_violation = None
+    && !did < quota
+    && not (over_deadline ())
   do
-    incr runs;
     (match run_once () with
-    | `Pass -> ()
-    | `Pruned -> incr pruned
-    | `Cutoff -> incr step_limited
-    | `Violation w -> violation := Some w);
-    if !violation = None then backtrack ()
+    | `Pass ->
+      incr did;
+      sub.sb_runs <- sub.sb_runs + 1
+    | `Pruned ->
+      incr did;
+      sub.sb_runs <- sub.sb_runs + 1;
+      sub.sb_pruned <- sub.sb_pruned + 1
+    | `Cutoff ->
+      incr did;
+      sub.sb_runs <- sub.sb_runs + 1;
+      sub.sb_cutoff <- sub.sb_cutoff + 1
+    | `Frontier -> ()
+    | `Violation w ->
+      incr did;
+      sub.sb_runs <- sub.sb_runs + 1;
+      sub.sb_violation <- Some w);
+    if sub.sb_violation = None then backtrack ()
+  done
+
+(* ---- exhaustive exploration ------------------------------------------- *)
+
+(* Split sizing is a pure function of the decision tree, never of the
+   pool width: the same subtrees, quotas and merge happen at any worker
+   count, which is what makes the report bit-identical. *)
+let target_subtrees = 64
+let first_split_depth = 4
+let split_depth_step = 3
+let first_round_ramp = 32
+
+let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
+    ?(reduction = true) ?(shrink = true) ?pool ~setup () =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) budget_s in
+  let over_deadline () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  in
+  (* The main-domain arena: split phase, then shrink replays. *)
+  let main_sim =
+    Sim.create ~seed:0 ~max_steps ~n ~adversary:placeholder_adversary ()
+  in
+  (* Phase 1 — frontier split: walk the tree truncated at [depth],
+     registering one subtree per frontier prefix and completing (and
+     counting) any run that terminates above the frontier.  Deepen
+     until there are enough subtrees to keep a pool busy, the subtree
+     count stops growing (the tree is narrower than that), or the
+     truncated walk itself already finished the job. *)
+  let split depth =
+    let tasks = Vec.create () in
+    let register choices flips seed =
+      Vec.push tasks
+        (subtree_make ~choices ~flips ~seed:(if reduction then seed else []))
+    in
+    let root = subtree_make ~choices:[||] ~flips:[||] ~seed:[] in
+    root.sb_sim <- Some main_sim;
+    explore_sub ~n ~max_steps ~reduction ~setup ~quota:max_runs ~deadline
+      ~frontier:(depth, register) root;
+    (root, tasks)
+  in
+  let rec deepen depth prev =
+    let (root, tasks) as r = split depth in
+    let count = Vec.length tasks in
+    if
+      root.sb_violation <> None
+      || (not root.sb_done) (* run budget or deadline hit mid-split *)
+      || count = 0 (* the whole tree fits above the frontier *)
+      || count >= target_subtrees
+    then r
+    else
+      match prev with
+      | Some (pcount, pr) when count <= pcount -> pr
+      | _ -> deepen (depth + split_depth_step) (Some (count, r))
+  in
+  let root, tasks_vec = deepen first_split_depth None in
+  let tasks = Vec.to_array tasks_vec in
+  let ntasks = Array.length tasks in
+  (* Phase 2 — quota rounds.  Subtree [i]'s leaves precede subtree
+     [i+1]'s in schedule order, and a run completing during the split
+     phase postdates every registered subtree (registration stops at a
+     split-phase violation), so the lexicographically-first violation
+     is the one with the smallest index here — [ntasks] is the split
+     phase's own sentinel.  Each round hands every live shard an equal
+     slice of the remaining run budget (capped by a ramp so an early
+     violation is found before the budget is sunk into clean shards);
+     quotas depend only on the budget and the live set, so the merge is
+     worker-count independent.  After a violation, only shards with
+     smaller indices stay live — they may hold an earlier one. *)
+  let best = ref (Option.map (fun w -> (ntasks, w)) root.sb_violation) in
+  let best_idx () = match !best with Some (i, _) -> i | None -> max_int in
+  let total_runs () =
+    Array.fold_left (fun acc t -> acc + t.sb_runs) root.sb_runs tasks
+  in
+  let bound_hit = root.sb_violation = None && not root.sb_done in
+  let ramp = ref first_round_ramp in
+  let continue_ = ref ((not bound_hit) && ntasks > 0) in
+  while !continue_ do
+    let live = ref [] in
+    for i = ntasks - 1 downto 0 do
+      let t = tasks.(i) in
+      if (not t.sb_done) && t.sb_violation = None && i < best_idx () then
+        live := t :: !live
+    done;
+    let live = Array.of_list !live in
+    let l = Array.length live in
+    let left = max_runs - total_runs () in
+    if l = 0 || left <= 0 || over_deadline () then continue_ := false
+    else begin
+      let base = left / l in
+      let rem = left mod l in
+      let cap = !ramp in
+      let run_one i =
+        let quota = min (base + if i < rem then 1 else 0) cap in
+        if quota > 0 then
+          explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline
+            live.(i)
+      in
+      (match pool with
+      | Some p when Pool.workers p > 1 && l > 1 ->
+        ignore (Pool.map p l run_one)
+      | _ ->
+        for i = 0 to l - 1 do
+          run_one i
+        done);
+      Array.iteri
+        (fun i t ->
+          match t.sb_violation with
+          | Some w when i < best_idx () -> best := Some (i, w)
+          | _ -> ())
+        tasks;
+      if cap < max_runs then ramp := cap * 4
+    end
   done;
   let violation =
-    match !violation with
+    match !best with
     | None -> None
-    | Some w when not shrink -> Some w
-    | Some w ->
+    | Some (_, w) when not shrink -> Some w
+    | Some (_, w) ->
       let still_fails choices flips =
-        match replay_on sim ~choices ~flips ~setup with
+        match replay_on main_sim ~choices ~flips ~setup with
         | Fail _, _ -> true
         | (Pass | Cutoff), _ -> false
       in
@@ -271,14 +486,19 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
       let flips =
         Bprc_faults.Shrink.ddmin ~test:(fun fs -> still_fails choices fs) w.flips
       in
-      (match replay_on sim ~choices ~flips ~setup with
+      (match replay_on main_sim ~choices ~flips ~setup with
       | Fail failure, clock -> Some { choices; flips; failure; clock }
       | (Pass | Cutoff), _ -> Some w)
   in
+  let exhausted =
+    violation = None && root.sb_done
+    && Array.for_all (fun t -> t.sb_done) tasks
+  in
   {
-    runs = !runs;
-    pruned = !pruned;
-    step_limited = !step_limited;
-    exhausted = !exhausted;
+    runs = total_runs ();
+    pruned = Array.fold_left (fun acc t -> acc + t.sb_pruned) root.sb_pruned tasks;
+    step_limited =
+      Array.fold_left (fun acc t -> acc + t.sb_cutoff) root.sb_cutoff tasks;
+    exhausted;
     violation;
   }

@@ -28,7 +28,20 @@
     A violation is returned as a {!witness}: the schedule (runnable
     indices, in {!Bprc_runtime.Adversary.scripted} form) and flip
     sequence of the failing run, by default minimized with
-    {!Bprc_faults.Shrink.ddmin} under replay validation. *)
+    {!Bprc_faults.Shrink.ddmin} under replay validation.
+
+    {b Parallel exploration.}  With [?pool], the tree is sharded: a
+    sequential {e frontier split} walks the tree truncated at a small
+    depth, turning each frontier prefix into an independent subtree
+    (its own DFS state, its own arena, its sleep set seeded from the
+    prefix), and deterministic quota rounds fan the subtrees out over
+    the pool's domains.  Split sizing, quotas and the merge are pure
+    functions of the tree and the run budget — never of the pool
+    width — and the reported witness is the lexicographically first
+    one in schedule order, so the result (stats, witness, exhausted
+    flag) is bit-identical at any worker count, including [?pool:None].
+    Only wall-clock-bounded runs ([budget_s]) can differ, exactly as
+    they already do sequentially. *)
 
 type setup = Bprc_runtime.Sim.t -> unit -> (unit, string) result
 (** A configuration: given a fresh simulator, allocate the shared
@@ -59,15 +72,21 @@ val explore :
   ?budget_s:float ->
   ?reduction:bool ->
   ?shrink:bool ->
+  ?pool:Bprc_harness.Pool.t ->
   setup:setup ->
   unit ->
   stats
 (** Explore all schedules of [setup] with [n] processes, stopping at the
-    first violation.  [max_steps] (default 2000) bounds each run,
-    [max_runs] (default 200_000) and [budget_s] (wall-clock, default
-    none) bound the whole exploration.  [reduction] (default [true])
-    enables sleep sets; [shrink] (default [true]) ddmin-minimizes the
-    witness. *)
+    first violation (in schedule order).  [max_steps] (default 2000)
+    bounds each run, [max_runs] (default 200_000) and [budget_s]
+    (wall-clock, default none) bound the whole exploration — enforced
+    cooperatively across shards, not per shard.  [reduction] (default
+    [true]) enables sleep sets; [shrink] (default [true])
+    ddmin-minimizes the witness.  [pool] (default none: everything on
+    the calling domain) fans subtree exploration out over a
+    {!Bprc_harness.Pool}; results are bit-identical at any worker
+    count.  [setup] must then be safe to call from helper domains —
+    true of every {!Config} registry entry. *)
 
 type replay_outcome =
   | Pass

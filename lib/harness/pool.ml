@@ -145,6 +145,10 @@ let map t count f =
     Array.map (function Some x -> x | None -> assert false) results
   end
 
+let map_list t f xs =
+  let arr = Array.of_list xs in
+  map t (Array.length arr) (fun i -> f arr.(i)) |> Array.to_list
+
 let map_seeded t ~rng ~trials f =
   (* Snapshot the base state so helper domains only ever read it. *)
   let base = Bprc_rng.Splitmix.copy rng in
@@ -152,11 +156,28 @@ let map_seeded t ~rng ~trials f =
 
 let shared = ref None
 
+(* The shared pool belongs to the domain that first asked for it (in
+   practice: the main domain, at module-init time nothing else exists).
+   A helper domain calling [default ()] would either race the lazy
+   creation or, worse, block inside a [map] on a pool that is already
+   draining a job — a deadlock with no stack trace.  Refuse loudly
+   instead. *)
+let shared_owner = ref (-1)
+
 let default () =
+  let self = (Domain.self () :> int) in
   match !shared with
-  | Some p -> p
+  | Some p ->
+    if self <> !shared_owner then
+      invalid_arg
+        (Printf.sprintf
+           "Pool.default: shared pool belongs to domain %d, called from \
+            domain %d (create a dedicated pool instead)"
+           !shared_owner self);
+    p
   | None ->
     let p = create () in
     shared := Some p;
+    shared_owner := self;
     at_exit (fun () -> shutdown p);
     p

@@ -35,13 +35,22 @@ val shutdown : t -> unit
 val default : unit -> t
 (** A process-wide shared pool of {!default_workers} workers, created
     on first use and shut down automatically at exit.  Must only be
-    used from the main domain. *)
+    used from the domain that first created it (in practice the main
+    domain).  @raise Invalid_argument when called from any other
+    domain — a helper domain sharing this pool would deadlock inside a
+    draining {!map}; create a dedicated pool instead. *)
 
 val map : t -> int -> (int -> 'a) -> 'a array
 (** [map pool count f] is [[| f 0; ...; f (count-1) |]], with the
     calls distributed over the pool's workers.  [f] must be safe to
     call from any domain.  If any call raises, one of the exceptions is
     re-raised in the caller after all claimed trials finish. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f xs] is [List.map f xs] with the calls distributed
+    over the pool, preserving input order.  The list-shaped counterpart
+    of {!map}; the CLI uses it as the dispatch layer shared between the
+    fault-hunt loop and the parallel explorer. *)
 
 val map_seeded :
   t -> rng:Bprc_rng.Splitmix.t -> trials:int -> (Bprc_rng.Splitmix.t -> 'a) -> 'a array

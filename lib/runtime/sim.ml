@@ -101,11 +101,27 @@ type t = {
   mutable validate : bool;
       (* check every adversary choice against the runnable set it was
          shown; O(n) per step, so off by default — see [set_validate] *)
+  mutable owner : int;
+      (* id of the domain that created or last [reset] this arena; the
+         scratch buffers, ctx record and effect continuations are
+         single-domain state, so [step]/[run] refuse to drive the arena
+         from anywhere else *)
 }
 
 type 'a handle = { cell : 'a option ref }
 
 type outcome = Completed | Hit_step_limit
+
+let self_id () = (Domain.self () :> int)
+
+let check_owner t what =
+  let d = self_id () in
+  if t.owner <> d then
+    invalid_arg
+      (Printf.sprintf
+         "Sim.%s: arena owned by domain %d driven from domain %d (Sim.reset \
+          adopts ownership)"
+         what t.owner d)
 
 let reset_procs ~seed procs =
   let master = Bprc_rng.Splitmix.create ~seed in
@@ -163,6 +179,7 @@ let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false)
     runnable_dirty = true;
     max_stall = 0;
     validate = debug;
+    owner = self_id ();
   }
 
 let reset ?seed ?adversary t =
@@ -183,6 +200,7 @@ let reset ?seed ?adversary t =
   t.runnable_cache <- t.scratch.(0);
   t.runnable_dirty <- true;
   t.max_stall <- 0;
+  t.owner <- self_id ();
   match t.tr with None -> () | Some tr -> Trace.clear tr
 
 (* Trace-event construction is confined to the [Some tr] branch: with
@@ -354,9 +372,12 @@ let[@inline always] step_inline t =
     true
   end
 
-let step t = step_inline t
+let step t =
+  check_owner t "step";
+  step_inline t
 
 let run t =
+  check_owner t "run";
   if t.spawned < t.n then
     invalid_arg "Sim.run: fewer processes spawned than n";
   let rec go () =

@@ -56,7 +56,12 @@ val reset : ?seed:int -> ?adversary:Adversary.t -> t -> unit
     explorer relies on this to avoid a [create] per replayed run.
     Handles and registers from before the reset are orphaned: reading a
     stale handle yields the old run's result, and using a stale
-    register raises no error but is meaningless. *)
+    register raises no error but is meaningless.
+
+    [reset] also {e adopts ownership}: the calling domain becomes the
+    arena's owner (see {!step}), which is how the parallel explorer
+    migrates a per-subtree arena between pool workers — always through
+    a reset, never mid-run. *)
 
 val runtime : t -> (module Runtime_intf.S)
 (** The shared-memory interface bound to this simulator instance.
@@ -71,11 +76,19 @@ val spawn : t -> (unit -> 'a) -> 'a handle
 val run : t -> outcome
 (** Drive steps until every process finished/crashed or the step limit
     is hit.  @raise Invalid_argument if fewer than [n] processes were
-    spawned. *)
+    spawned, or when called from a domain other than the arena's owner
+    (see {!step}). *)
 
 val step : t -> bool
 (** Execute a single adversary-chosen step.  Returns [false] when no
-    process is runnable (all finished or crashed). *)
+    process is runnable (all finished or crashed).
+
+    An arena is owned by the domain that {!create}d or last {!reset}
+    it: its scratch buffers, adversary context and suspended effect
+    continuations are single-domain state, so driving it from another
+    domain would race silently.  [step] and {!run} raise a clear
+    [Invalid_argument] instead; call {!reset} from the new domain
+    first to adopt ownership. *)
 
 val result : 'a handle -> 'a option
 (** The value returned by the process, if it finished. *)

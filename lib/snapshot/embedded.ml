@@ -1,17 +1,22 @@
 module Make (R : Bprc_runtime.Runtime_intf.S) = struct
   type 'a cell = {
-    value : 'a;
-    seq : int;
+    mutable value : 'a;
+    mutable seq : int;
     view : 'a array;  (** the scan embedded in this update *)
   }
+  (* [value]/[seq] are mutable only for the per-process self cell,
+     which is process-local and updated in place by [write].  A cell
+     published through a register is never mutated afterwards — other
+     scanners hold references to it (and may borrow its [view]). *)
 
   type 'a t = {
     cells : 'a cell R.reg array;
     my_value : 'a array;
     my_seq : int array;
     self_cells : 'a cell array;
-        (* self_cells.(p): cached dummy cell for p's own component,
-           rebuilt only by p's [write] instead of once per collect *)
+        (* self_cells.(p): p's own component, updated in place by p's
+           [write] instead of allocating a cell per collect (or per
+           write); distinct records per process, never shared *)
     collect_first : 'a cell array array;
     collect_a : 'a cell array array;
     collect_b : 'a cell array array;
@@ -36,7 +41,8 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
               { value = init; seq = 0; view = Array.make R.n init });
       my_value = Array.make R.n init;
       my_seq = Array.make R.n 0;
-      self_cells = Array.make R.n cell0;
+      self_cells =
+        Array.init R.n (fun _ -> { value = init; seq = 0; view = [||] });
       collect_first = buffers ();
       collect_a = buffers ();
       collect_b = buffers ();
@@ -53,55 +59,86 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
       out.(j) <- (if j = me then t.self_cells.(me) else R.read t.cells.(j))
     done
 
-  let scan t =
+  (* Compare collect [cur] against [prev] (and the scan's [first]),
+     updating [moved_once].  The verdict is a plain int so the retry
+     loop allocates nothing:
+       -2       every component agrees: [cur] is a direct view
+       -1       some writer moved, none borrowable yet: collect again
+       j >= 0   writer [j] moved twice since [first]: borrow its
+                embedded view (the last such [j] wins, matching the
+                order the original option-accumulating loop produced)
+     The accumulator keeps a borrow verdict once found, and [moved_once]
+     is updated for every moved component either way. *)
+  let rec verdict first prev cur moved_once j acc =
+    if j >= R.n then acc
+    else
+      let acc =
+        if cur.(j).seq <> prev.(j).seq then
+          if cur.(j).seq <> first.(j).seq && moved_once.(j) then j
+          else begin
+            moved_once.(j) <- true;
+            if acc = -2 then -1 else acc
+          end
+        else acc
+      in
+      verdict first prev cur moved_once (j + 1) acc
+
+  (* The retry loop, with all state in arguments: no closure, no refs,
+     no allocation beyond the simulator's own per-step cost. *)
+  let rec scan_attempt t me first moved_once out prev =
+    let cur =
+      if prev == t.collect_a.(me) then t.collect_b.(me) else t.collect_a.(me)
+    in
+    collect_into t me cur;
+    let v = verdict first prev cur moved_once 0 (-2) in
+    if v = -2 then begin
+      for j = 0 to R.n - 1 do
+        out.(j) <- cur.(j).value
+      done;
+      (* My own component is mine to report. *)
+      out.(me) <- t.my_value.(me)
+    end
+    else begin
+      t.retries <- t.retries + 1;
+      if v >= 0 then begin
+        (* [v] moved at least twice since the scan began: its latest
+           embedded view lies entirely within our interval.  Published
+           views always have length [R.n] (and [v <> me], the only pid
+           whose collect entry is a viewless self cell: a process does
+           not write during its own scan). *)
+        t.borrow_count <- t.borrow_count + 1;
+        Array.blit cur.(v).view 0 out 0 R.n;
+        out.(me) <- t.my_value.(me)
+      end
+      else scan_attempt t me first moved_once out cur
+    end
+
+  let scan_into t out =
+    if Array.length out <> R.n then
+      invalid_arg "Embedded.scan_into: view buffer must have length n";
     let me = R.pid () in
-    (* moved_once.(j): j was seen to move beyond the first collect. *)
     let first = t.collect_first.(me) in
     collect_into t me first;
     let moved_once = t.moved_once.(me) in
     Array.fill moved_once 0 R.n false;
-    let rec attempt prev =
-      let cur =
-        if prev == t.collect_a.(me) then t.collect_b.(me) else t.collect_a.(me)
-      in
-      collect_into t me cur;
-      let all_same = ref true in
-      let borrowed = ref None in
-      for j = 0 to R.n - 1 do
-        if cur.(j).seq <> prev.(j).seq then begin
-          all_same := false;
-          if cur.(j).seq <> first.(j).seq && moved_once.(j) then
-            (* j moved at least twice since the scan began: its latest
-               embedded view lies entirely within our interval. *)
-            borrowed := Some j
-          else moved_once.(j) <- true
-        end
-      done;
-      if !all_same then
-        Array.init R.n (fun j ->
-            if j = me then t.my_value.(me) else cur.(j).value)
-      else begin
-        t.retries <- t.retries + 1;
-        match !borrowed with
-        | Some j ->
-          t.borrow_count <- t.borrow_count + 1;
-          let v = Array.copy cur.(j).view in
-          (* The borrowed view's own component for me may be stale;
-             my value is mine to report. *)
-          v.(me) <- t.my_value.(me);
-          v
-        | None -> attempt cur
-      end
-    in
-    attempt first
+    scan_attempt t me first moved_once out first
+
+  let scan t =
+    let out = Array.make R.n t.my_value.(R.pid ()) in
+    scan_into t out;
+    out
 
   let write t v =
     let me = R.pid () in
+    (* Scan with the OLD own value still in place: the embedded view
+       must predate this write. *)
     let view = scan t in
     let seq = t.my_seq.(me) + 1 in
     t.my_seq.(me) <- seq;
     t.my_value.(me) <- v;
-    t.self_cells.(me) <- { value = v; seq; view = [||] };
+    let sc = t.self_cells.(me) in
+    sc.value <- v;
+    sc.seq <- seq;
     R.write t.cells.(me) { value = v; seq; view }
 
   let scan_retries t = t.retries

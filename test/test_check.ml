@@ -324,6 +324,55 @@ let test_consensus_corner_search () =
   Alcotest.(check bool) "tree too large to exhaust" false
     stats.Explorer.exhausted
 
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration is bit-identical at any worker count           *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole contract: stats totals, the exhausted flag and the
+   (shrunk) witness must not depend on how many domains explored the
+   tree.  Exercised on a clean reduced config (snapshot-atomic) and on
+   a violating unreduced one (snapshot-unsafe), whose witness JSON is
+   compared bit-for-bit. *)
+let test_worker_count_invariance () =
+  let witness_json cfg = function
+    | None -> "none"
+    | Some w ->
+      Witness.to_string
+        (Witness.of_witness ~config:cfg.Config.name ~n:cfg.Config.n
+           ~max_steps:cfg.Config.max_steps w)
+  in
+  List.iter
+    (fun name ->
+      let cfg = get_config name in
+      let at_workers w =
+        let pool = Bprc_harness.Pool.create ~workers:w () in
+        let stats = Config.run ~pool cfg in
+        Bprc_harness.Pool.shutdown pool;
+        stats
+      in
+      let base = Config.run cfg (* no pool at all *) in
+      List.iter
+        (fun w ->
+          let stats = at_workers w in
+          Alcotest.(check int)
+            (Printf.sprintf "%s runs @%d workers" name w)
+            base.Explorer.runs stats.Explorer.runs;
+          Alcotest.(check int)
+            (Printf.sprintf "%s pruned @%d workers" name w)
+            base.Explorer.pruned stats.Explorer.pruned;
+          Alcotest.(check int)
+            (Printf.sprintf "%s step_limited @%d workers" name w)
+            base.Explorer.step_limited stats.Explorer.step_limited;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s exhausted @%d workers" name w)
+            base.Explorer.exhausted stats.Explorer.exhausted;
+          Alcotest.(check string)
+            (Printf.sprintf "%s witness @%d workers" name w)
+            (witness_json cfg base.Explorer.violation)
+            (witness_json cfg stats.Explorer.violation))
+        [ 1; 2; 4 ])
+    [ "snapshot-atomic"; "snapshot-unsafe" ]
+
 let suite =
   [
     Alcotest.test_case "lin: empty" `Quick test_lin_empty;
@@ -356,4 +405,6 @@ let suite =
       test_random_histories_linearizable;
     Alcotest.test_case "explore: consensus corner search" `Quick
       test_consensus_corner_search;
+    Alcotest.test_case "explore: worker-count invariance" `Quick
+      test_worker_count_invariance;
   ]

@@ -269,6 +269,37 @@ let test_pool_nested_map_rejected () =
         (Invalid_argument "Pool.map: nested map on the same pool") (fun () ->
           ignore (Pool.map p 2 (fun _ -> Pool.map p 2 (fun i -> i)))))
 
+let test_pool_default_other_domain_rejected () =
+  (* Touch the shared pool from this (main) domain first so the owner
+     id is pinned, then probe it from a helper domain: it must raise a
+     clear Invalid_argument instead of deadlocking on the shared job
+     queue. *)
+  let p = Pool.default () in
+  Alcotest.(check bool) "main domain gets the pool" true (Pool.workers p >= 1);
+  let from_helper =
+    Domain.join
+      (Domain.spawn (fun () ->
+           match Pool.default () with
+           | _ -> `No_raise
+           | exception Invalid_argument msg -> `Rejected msg))
+  in
+  (match from_helper with
+  | `Rejected msg ->
+    Alcotest.(check bool)
+      "message names Pool.default" true
+      (String.length msg >= 12 && String.sub msg 0 12 = "Pool.default")
+  | `No_raise -> Alcotest.fail "Pool.default usable from a helper domain");
+  (* The main domain is unaffected. *)
+  Alcotest.(check (array int)) "still usable from owner"
+    (Array.init 3 (fun i -> i))
+    (Pool.map p 3 (fun i -> i))
+
+let test_pool_map_list () =
+  with_pool 3 (fun p ->
+      Alcotest.(check (list int)) "order preserved" [ 1; 4; 9; 16 ]
+        (Pool.map_list p (fun x -> x * x) [ 1; 2; 3; 4 ]);
+      Alcotest.(check (list int)) "empty" [] (Pool.map_list p (fun x -> x) []))
+
 let test_pool_experiment_matches_sequential () =
   (* End to end: an experiment over a multi-worker pool equals the
      1-worker run row for row. *)
@@ -421,6 +452,9 @@ let suite =
       test_pool_map_seeded_preserves_rng;
     Alcotest.test_case "pool: exceptions propagate" `Quick
       test_pool_exception_propagates;
+    Alcotest.test_case "pool: default rejected off-domain" `Quick
+      test_pool_default_other_domain_rejected;
+    Alcotest.test_case "pool: map_list" `Quick test_pool_map_list;
     Alcotest.test_case "pool: nested map rejected" `Quick
       test_pool_nested_map_rejected;
     Alcotest.test_case "pool: experiment matches sequential" `Slow

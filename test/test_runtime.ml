@@ -821,3 +821,56 @@ let reset_suite =
   ]
 
 let suite = suite @ reset_suite
+
+(* --- Arena ownership ------------------------------------------------- *)
+
+let spawn_yielders sim k =
+  for _ = 1 to k do
+    ignore
+      (Sim.spawn sim (fun () ->
+           let (module R) = Sim.runtime sim in
+           R.yield ()))
+  done
+
+let test_owner_rejects_foreign_domain () =
+  (* An arena created here must refuse to be driven from another domain:
+     its scratch buffers and suspended continuations are single-domain
+     state.  [Sim.reset] adopts ownership, after which the helper domain
+     may drive it — that is exactly how pool workers inherit arenas. *)
+  let sim = Sim.create ~seed:3 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  spawn_yielders sim 2;
+  let step_rejected, run_rejected, after_reset_ok =
+    Domain.join
+      (Domain.spawn (fun () ->
+           let expect_owner_error f =
+             match f () with
+             | _ -> false
+             | exception Invalid_argument msg ->
+                 Astring.String.is_prefix ~affix:"Sim." msg
+           in
+           let step_rejected = expect_owner_error (fun () -> Sim.step sim) in
+           let run_rejected = expect_owner_error (fun () -> Sim.run sim) in
+           Sim.reset ~seed:3 ~adversary:(Adversary.round_robin ()) sim;
+           spawn_yielders sim 2;
+           let after_reset_ok = Sim.run sim = Sim.Completed in
+           (step_rejected, run_rejected, after_reset_ok)))
+  in
+  Alcotest.(check bool) "step from foreign domain rejected" true step_rejected;
+  Alcotest.(check bool) "run from foreign domain rejected" true run_rejected;
+  Alcotest.(check bool) "reset adopts ownership" true after_reset_ok;
+  (* The helper domain's reset moved ownership there; this domain is now
+     the foreigner until it resets the arena back. *)
+  (match Sim.step sim with
+  | _ -> Alcotest.fail "ownership did not move with reset"
+  | exception Invalid_argument _ -> ());
+  Sim.reset ~seed:3 ~adversary:(Adversary.round_robin ()) sim;
+  spawn_yielders sim 2;
+  ignore (Sim.step sim)
+
+let owner_suite =
+  [
+    Alcotest.test_case "owner: foreign domain rejected, reset adopts" `Quick
+      test_owner_rejects_foreign_domain;
+  ]
+
+let suite = suite @ owner_suite

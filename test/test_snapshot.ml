@@ -589,6 +589,52 @@ let test_handshake_starves_where_embedded_does_not () =
   Alcotest.(check bool) "handshake scan starves under flood" false
     (Sim.finished sim 1)
 
+let test_embedded_scan_into () =
+  (* [scan_into] must be [scan] minus the allocation: identical views
+     under an identical (deterministic) schedule, and a hard length
+     check on the caller's buffer. *)
+  let run use_into =
+    let sim = Sim.create ~seed:11 ~n:3 ~adversary:(Adversary.random ()) () in
+    let (module R) = Sim.runtime sim in
+    let module S = Embedded.Make ((val Sim.runtime sim)) in
+    let mem = S.create ~init:0 () in
+    let views = ref [] in
+    for _ = 1 to 2 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             for k = 1 to 8 do
+               S.write mem k
+             done))
+    done;
+    ignore
+      (Sim.spawn sim (fun () ->
+           let buf = Array.make 3 (-1) in
+           for _ = 1 to 6 do
+             let v =
+               if use_into then begin
+                 S.scan_into mem buf;
+                 Array.copy buf
+               end
+               else S.scan mem
+             in
+             views := v :: !views
+           done));
+    ignore (Sim.run sim);
+    List.rev !views
+  in
+  Alcotest.(check (list (array int)))
+    "scan_into = scan under the same schedule" (run false) (run true);
+  let sim = Sim.create ~seed:1 ~n:2 ~adversary:(Adversary.round_robin ()) () in
+  let module S = Embedded.Make ((val Sim.runtime sim)) in
+  let mem = S.create ~init:0 () in
+  ignore
+    (Sim.spawn sim (fun () ->
+         match S.scan_into mem (Array.make 5 0) with
+         | () -> Alcotest.fail "wrong-length buffer accepted"
+         | exception Invalid_argument _ -> ()));
+  ignore (Sim.spawn sim (fun () -> ()));
+  ignore (Sim.run sim)
+
 let embedded_suite =
   [
     Alcotest.test_case "embedded: random schedules" `Quick test_embedded_random;
@@ -601,6 +647,7 @@ let embedded_suite =
       test_embedded_borrows_happen;
     Alcotest.test_case "handshake starves where embedded doesn't" `Quick
       test_handshake_starves_where_embedded_does_not;
+    Alcotest.test_case "embedded: scan_into" `Quick test_embedded_scan_into;
   ]
 
 let suite = suite @ embedded_suite
