@@ -13,6 +13,14 @@
                                         exit 1 if the raw-Sim bench allocates
                                         more than CEIL minor words per step
                                         (CI allocation-regression guard)
+     throughput.exe --assert-par1-vs-seq R
+                                        exit 1 if explorer-par1 runs/sec falls
+                                        below R x explorer-seq (1-worker pools
+                                        must not pay for parallel machinery)
+     throughput.exe --assert-par-scaling R
+                                        exit 1 if explorer-par4 runs/sec falls
+                                        below R x explorer-par1 (scaling guard;
+                                        only meaningful on multi-core runners)
 
    The four benches:
      raw-sim     n=4 processes spinning on write/read of private
@@ -26,17 +34,22 @@
                  inputs (ops = decided processes)
      explorer    bounded exhaustive exploration of a 3-process
                  write-then-read config (ops = exploration runs)
-     explorer-parN  the snapshot-atomic registry config explored
-                 unreduced (30k-run tree) over a N-worker pool
-                 (ops = exploration runs; par1 is the scaling
-                 baseline, and all N must report identical run
-                 counts — checked)
+     explorer-seq   the snapshot-atomic registry config explored
+                 unreduced (30k-run tree) with no pool at all — the
+                 apples-to-apples sequential baseline for the parN rows
+                 (the plain "explorer" row uses a much lighter config
+                 and is not comparable)
+     explorer-parN  the same config and tree over a N-worker pool
+                 (ops = exploration runs; all rows from explorer-seq
+                 down must report identical run counts — checked)
 
    The substrate rows are single-domain on purpose: this suite measures
    the hot path itself.  The explorer-parN rows are the exception —
    they exist to track how schedule exploration scales across domains
    (their run counts are bit-identical by construction, only the rate
-   moves). *)
+   moves).  Their minor-words metric sums the driving domain and every
+   pool helper domain (Pool.helper_minor_words), so allocation per op
+   is comparable across worker counts. *)
 
 module Sim = Bprc_runtime.Sim
 module Adversary = Bprc_runtime.Adversary
@@ -57,9 +70,9 @@ let measure ~bench ~unit_ f =
   Gc.full_major ();
   let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  let ops, sim_steps = f () in
+  let ops, sim_steps, extra_minor = f () in
   let wall_s = Unix.gettimeofday () -. t0 in
-  let minor_words = Gc.minor_words () -. m0 in
+  let minor_words = Gc.minor_words () -. m0 +. extra_minor in
   { bench; unit_; ops = float_of_int ops; sim_steps; wall_s; minor_words }
 
 (* ---- raw simulator steps --------------------------------------------- *)
@@ -85,7 +98,7 @@ let bench_raw_sim ~trials () =
   | Sim.Completed -> ()
   | Sim.Hit_step_limit -> failwith "raw-sim bench hit step limit");
   let steps = Sim.clock sim in
-  (steps, Some (float_of_int steps))
+  (steps, Some (float_of_int steps), 0.0)
 
 (* ---- embedded-snapshot scans ------------------------------------------ *)
 
@@ -112,7 +125,7 @@ let bench_esnap ~trials () =
   (match Sim.run sim with
   | Sim.Completed -> ()
   | Sim.Hit_step_limit -> failwith "esnap bench hit step limit");
-  (n * pairs, Some (float_of_int (Sim.clock sim)))
+  (n * pairs, Some (float_of_int (Sim.clock sim)), 0.0)
 
 (* ---- end-to-end consensus decisions ----------------------------------- *)
 
@@ -133,7 +146,7 @@ let bench_consensus ~trials () =
       r.Run.decisions;
     steps := !steps + r.Run.steps
   done;
-  (!decisions, Some (float_of_int !steps))
+  (!decisions, Some (float_of_int !steps), 0.0)
 
 (* ---- bounded exhaustive exploration ----------------------------------- *)
 
@@ -159,32 +172,50 @@ let bench_explorer ~trials () =
       failwith "explorer bench did not exhaust";
     runs := !runs + stats.Bprc_check.Explorer.runs
   done;
-  (!runs, None)
+  (!runs, None, 0.0)
 
 (* The scaling rows: one full unreduced sweep of the snapshot-atomic
-   registry configuration (~30k schedules) per trial, fanned over a
-   pool.  The run counts are bit-identical at any worker count (the
-   explorer guarantees it); the driver cross-checks that below. *)
-let bench_explorer_par ~workers ~trials () =
-  let cfg =
-    match Bprc_check.Config.find "snapshot-atomic" with
-    | Some c -> c
-    | None -> failwith "snapshot-atomic config missing"
+   registry configuration (~30k schedules) per trial, sequentially
+   (explorer-seq, the same-config baseline the scaling asserts compare
+   against) or fanned over a pool.  The run counts are bit-identical at
+   any worker count (the explorer guarantees it); the driver
+   cross-checks that below.  Pool rows add the helper domains'
+   per-domain allocation counters to the driving domain's so
+   minor_words_per_op stays honest as N grows. *)
+let par_config () =
+  match Bprc_check.Config.find "snapshot-atomic" with
+  | Some c -> c
+  | None -> failwith "snapshot-atomic config missing"
+
+let explore_par_once ?pool cfg =
+  let stats =
+    Bprc_check.Explorer.explore ~n:cfg.Bprc_check.Config.n
+      ~max_steps:cfg.Bprc_check.Config.max_steps ~reduction:false ?pool
+      ~setup:cfg.Bprc_check.Config.setup ()
   in
-  let pool = Pool.create ~workers () in
+  if not stats.Bprc_check.Explorer.exhausted then
+    failwith "explorer-seq/par bench did not exhaust";
+  stats.Bprc_check.Explorer.runs
+
+let bench_explorer_seq ~trials () =
+  let cfg = par_config () in
   let runs = ref 0 in
   for _ = 1 to trials do
-    let stats =
-      Bprc_check.Explorer.explore ~n:cfg.Bprc_check.Config.n
-        ~max_steps:cfg.Bprc_check.Config.max_steps ~reduction:false ~pool
-        ~setup:cfg.Bprc_check.Config.setup ()
-    in
-    if not stats.Bprc_check.Explorer.exhausted then
-      failwith "explorer-par bench did not exhaust";
-    runs := !runs + stats.Bprc_check.Explorer.runs
+    runs := !runs + explore_par_once cfg
   done;
+  (!runs, None, 0.0)
+
+let bench_explorer_par ~workers ~trials () =
+  let cfg = par_config () in
+  let pool = Pool.create ~workers () in
+  Pool.reset_helper_minor_words pool;
+  let runs = ref 0 in
+  for _ = 1 to trials do
+    runs := !runs + explore_par_once ~pool cfg
+  done;
+  let helper_words = Pool.helper_minor_words pool in
   Pool.shutdown pool;
-  (!runs, None)
+  (!runs, None, helper_words)
 
 (* ---- table / report --------------------------------------------------- *)
 
@@ -218,8 +249,10 @@ let table ~trials samples =
       [
         "ops_per_sec: higher is better; minor_words_per_op: lower is better";
         "raw-sim ops are simulated steps, so its two rates coincide";
-        "explorer-parN minor words count the driving domain only \
-         (Gc.minor_words is per-domain); compare rates, not words";
+        "explorer-parN minor words sum the driving domain and all pool \
+         helper domains (per-domain Gc counters banked at chunk join)";
+        "explorer-seq is the same config as explorer-parN with no pool: \
+         the baseline for par scaling asserts";
       ]
     ~metrics:
       (List.concat_map
@@ -241,7 +274,9 @@ let parse_args args =
   and baseline = ref None
   and ceiling = ref None
   and esnap_ceiling = ref None
-  and esnap_obj_ceiling = ref None in
+  and esnap_obj_ceiling = ref None
+  and par1_vs_seq = ref None
+  and par_scaling = ref None in
   let number what r v tl go =
     match float_of_string_opt v with
     | Some c when c >= 0.0 ->
@@ -274,10 +309,15 @@ let parse_args args =
       number "--assert-esnap-words-per-op" esnap_ceiling v tl go
     | "--assert-esnap-obj-words-per-op" :: v :: tl ->
       number "--assert-esnap-obj-words-per-op" esnap_obj_ceiling v tl go
+    | "--assert-par1-vs-seq" :: v :: tl ->
+      number "--assert-par1-vs-seq" par1_vs_seq v tl go
+    | "--assert-par-scaling" :: v :: tl ->
+      number "--assert-par-scaling" par_scaling v tl go
     | a :: _ -> usage_error (Printf.sprintf "unknown argument %s" a)
   in
   go args;
-  (!json, !trials, !baseline, !ceiling, !esnap_ceiling, !esnap_obj_ceiling)
+  ( !json, !trials, !baseline, !ceiling, !esnap_ceiling, !esnap_obj_ceiling,
+    !par1_vs_seq, !par_scaling )
 
 let read_baseline file =
   let ic = open_in file in
@@ -289,7 +329,8 @@ let read_baseline file =
   | Error e -> usage_error (Printf.sprintf "--baseline %s: %s" file e)
 
 let () =
-  let json, trials, baseline, ceiling, esnap_ceiling, esnap_obj_ceiling =
+  let ( json, trials, baseline, ceiling, esnap_ceiling, esnap_obj_ceiling,
+        par1_vs_seq, par_scaling ) =
     parse_args (List.tl (Array.to_list Sys.argv))
   in
   let t0 = Unix.gettimeofday () in
@@ -299,6 +340,7 @@ let () =
       measure ~bench:"esnap-scan" ~unit_:"write+scan" (bench_esnap ~trials);
       measure ~bench:"consensus" ~unit_:"decision" (bench_consensus ~trials);
       measure ~bench:"explorer" ~unit_:"run" (bench_explorer ~trials);
+      measure ~bench:"explorer-seq" ~unit_:"run" (bench_explorer_seq ~trials);
       measure ~bench:"explorer-par1" ~unit_:"run"
         (bench_explorer_par ~workers:1 ~trials);
       measure ~bench:"explorer-par2" ~unit_:"run"
@@ -312,13 +354,16 @@ let () =
   (match
      List.filter_map
        (fun s ->
-         if String.starts_with ~prefix:"explorer-par" s.bench then Some s.ops
+         if
+           String.starts_with ~prefix:"explorer-par" s.bench
+           || s.bench = "explorer-seq"
+         then Some s.ops
          else None)
        samples
    with
   | ops0 :: rest when List.exists (fun o -> o <> ops0) rest ->
     Printf.eprintf
-      "explorer-parN rows disagree on run counts: worker-count \
+      "explorer-seq/parN rows disagree on run counts: worker-count \
        determinism is broken\n\
        %!";
     exit 1
@@ -376,4 +421,22 @@ let () =
     | None -> minor_per_op esnap
   in
   check_ceiling ~what:"esnap-scan object words/op" ~got:esnap_obj
-    esnap_obj_ceiling
+    esnap_obj_ceiling;
+  let rate name =
+    ops_per_sec (List.find (fun s -> s.bench = name) samples)
+  in
+  let check_ratio ~what ~num ~den = function
+    | None -> ()
+    | Some r ->
+      let got = rate num /. rate den in
+      if got < r then begin
+        Printf.eprintf "scaling regression: %s = %.2fx (floor %.2fx)\n%!" what
+          got r;
+        exit 1
+      end
+      else Printf.printf "%s: %.2fx (floor %.2fx) — ok\n%!" what got r
+  in
+  check_ratio ~what:"explorer-par1 vs explorer-seq" ~num:"explorer-par1"
+    ~den:"explorer-seq" par1_vs_seq;
+  check_ratio ~what:"explorer-par4 vs explorer-par1" ~num:"explorer-par4"
+    ~den:"explorer-par1" par_scaling

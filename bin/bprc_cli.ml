@@ -841,7 +841,9 @@ let check_cmd =
          "Exhaustively explore the schedules of small configurations \
           (linearizability + P1-P3 + consensus spec on every completed \
           run); on violation, write a ddmin-minimized replayable witness \
-          schedule.  Reports are bit-identical at any --workers count.  \
+          schedule.  Run/pruned counts equal the sequential explorer's \
+          stopped at its first violation, so reports are bit-identical \
+          at any --workers count.  \
           Exit codes: 0 every configuration exhausted clean, 1 violation \
           found, 124 exploration bound hit first.")
     Term.(

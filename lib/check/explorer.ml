@@ -68,9 +68,8 @@ type node = Sched of sched | Flip of fnode
 
 exception Prune
 
-(* Raised by the split phase when a run reaches the frontier depth:
-   the run is abandoned and its decision prefix becomes a subtree for
-   the worker phase. *)
+(* Raised when a run reaches an armed carve frontier: the run is
+   abandoned and its decision prefix becomes a child shard. *)
 exception Frontier_hit
 
 let index_of arr pid =
@@ -122,16 +121,36 @@ let replay ~n ?(max_steps = 2000) ~choices ~flips ~setup () =
   in
   replay_on sim ~choices ~flips ~setup
 
-(* ---- subtrees ---------------------------------------------------------- *)
+(* ---- shards ------------------------------------------------------------ *)
 
 (* A shard of the decision tree: a frozen decision prefix plus DFS
    state for everything below it.  The prefix stores schedule decisions
    as runnable-array indices (what a replay needs) and coin decisions
-   as raw booleans; [sb_seed] is the sleep set pending at the frontier,
-   so sleep-set reduction below the prefix starts exactly where the
-   sequential walk would have it.  Each subtree owns a lazily created
+   as raw booleans; [sb_seed] is the sleep set pending at the carve
+   point, so sleep-set reduction below the prefix starts exactly where
+   the sequential walk would have it.  Each shard owns a lazily created
    simulator arena, so a worker exploring it never shares mutable
-   state with any other shard. *)
+   state with any other shard.
+
+   A shard's {e stream} is the sequence of runs the sequential DFS
+   would perform below its prefix.  When a shard is armed
+   ([sb_split_at >= 0], carve depth [sb_split_depth]), fresh extensions
+   at or beyond the depth are not taken: the pending prefix becomes a
+   child shard, registered in [sb_children] in DFS order with a
+   snapshot of the parent's own counters.  The stream then reads
+
+     [own seg 0] [child 0's stream] [own seg 1] [child 1's stream] ...
+     [final own seg]
+
+   where own segment [i] is the parent's own runs between snapshots.
+   A fresh extension always sits over a never-explored subtree (nodes
+   for exhausted siblings are popped, so an absent node at position [p]
+   means this exact decision combination was never extended), so a
+   child's stream never overlaps work the parent already counted, and a
+   parent's own violation — which aborts carving — is always in the
+   final segment, after every child.  That ordering is what lets
+   [walk] below reconstruct the exact sequential report from per-shard
+   states alone. *)
 type subtree = {
   sb_choices : int array;
   sb_flips : bool array;
@@ -143,6 +162,22 @@ type subtree = {
   mutable sb_cutoff : int;
   mutable sb_done : bool;  (* every schedule below the prefix explored *)
   mutable sb_violation : witness option;
+  sb_children : child Vec.t;  (* carved subtrees, in DFS (stream) order *)
+  mutable sb_split_depth : int;  (* absolute carve depth; -1 = not armed *)
+  mutable sb_split_at : int;  (* own runs completed when armed; -1 = never *)
+  (* Per-round scheduling annotations, written only by the driving
+     domain between rounds. *)
+  mutable sb_rank : int;  (* stream (pre-order) rank this round *)
+  mutable sb_anc : int list;  (* ranks of ancestors this round *)
+  mutable sb_lb : int;  (* stream position its next run cannot precede *)
+  mutable sb_total : int;  (* recorded runs in its whole subtree *)
+}
+
+and child = {
+  at_runs : int;  (* parent's own counters when this child was carved *)
+  at_pruned : int;
+  at_cutoff : int;
+  ch : subtree;
 }
 
 let subtree_make ~choices ~flips ~seed =
@@ -157,24 +192,36 @@ let subtree_make ~choices ~flips ~seed =
     sb_cutoff = 0;
     sb_done = false;
     sb_violation = None;
+    sb_children = Vec.create ();
+    sb_split_depth = -1;
+    sb_split_at = -1;
+    sb_rank = 0;
+    sb_anc = [];
+    sb_lb = 0;
+    sb_total = 0;
   }
+
+let prefix_len sub = Array.length sub.sb_choices + Array.length sub.sb_flips
 
 (* Explore [sub]'s shard depth-first for at most [quota] completed runs
    (pruned and step-limited runs count: each consumes a schedule), or
-   until the shard is exhausted, a violation is found, or [deadline]
-   passes.  State accumulates in [sub], so successive calls resume the
-   DFS where the previous quota ran out.
+   until the shard is exhausted, a violation is found, [deadline]
+   passes, or [cancel] fires.  State accumulates in [sub], so
+   successive calls resume the DFS where the previous quota ran out.
 
-   During the split phase [frontier = Some (depth, register)]: the
-   first *scheduling* decision at global position [>= depth] is not
-   taken — the pending prefix (choices, flips, sleep set) is handed to
-   [register] and the run is abandoned, counted in neither [runs] nor
-   [pruned] (the registered subtree accounts for every schedule below
-   it).  Coin flips never trigger the frontier, so a prefix always ends
-   on a completed step and the captured sleep set is exactly the one
-   the sequential walk would carry into that scheduling point. *)
-let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline ?frontier sub
-    =
+   While the shard is armed ([sb_split_depth >= 0]), the first {e
+   fresh} scheduling extension at global position [>= sb_split_depth]
+   is not taken — the pending prefix (choices, flips, sleep set)
+   becomes a child shard and the run is abandoned, counted in neither
+   [runs] nor [pruned] (the child accounts for every schedule below
+   it).  Replays of existing path nodes never trigger the frontier, so
+   arming mid-stream is sound: work already explored stays in the
+   parent, only never-visited subtrees are donated.  Coin flips never
+   trigger the frontier either, so a prefix always ends on a completed
+   step and the captured sleep set is exactly the one the sequential
+   walk would carry into that scheduling point. *)
+let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline
+    ?(cancel = fun () -> false) sub =
   let sim =
     match sub.sb_sim with
     | Some s -> s
@@ -186,10 +233,21 @@ let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline ?frontier sub
       s
   in
   let path = sub.sb_path in
-  let plen = Array.length sub.sb_choices + Array.length sub.sb_flips in
+  let plen = prefix_len sub in
   let did = ref 0 in
   let over_deadline () =
     match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  in
+  let register choices flips seed =
+    Vec.push sub.sb_children
+      {
+        at_runs = sub.sb_runs;
+        at_pruned = sub.sb_pruned;
+        at_cutoff = sub.sb_cutoff;
+        ch =
+          subtree_make ~choices ~flips
+            ~seed:(if reduction then seed else []);
+      }
   in
   let run_once () =
     let pos = ref 0 in
@@ -204,8 +262,8 @@ let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline ?frontier sub
       incr pos;
       if p < plen then begin
         (* Replaying the frozen prefix: the simulator state is
-           bit-identical to when the split phase recorded it, so the
-           stored runnable index picks the same process. *)
+           bit-identical to when the carve recorded it, so the stored
+           runnable index picks the same process. *)
         let k = sub.sb_choices.(!ci) in
         incr ci;
         Vec.push run_choices k;
@@ -222,12 +280,11 @@ let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline ?frontier sub
             pid
           | Flip _ -> failwith "Explorer: schedule/flip divergence")
         else begin
-          (match frontier with
-          | Some (depth, register) when p >= depth ->
+          if sub.sb_split_depth >= 0 && p >= sub.sb_split_depth then begin
             register (Vec.to_array run_choices) (Vec.to_array run_flips)
               !pending_sleep;
             raise Frontier_hit
-          | _ -> ());
+          end;
           let sleep_in = if reduction then !pending_sleep else [] in
           let sleeping = List.map fst sleep_in in
           let order =
@@ -313,7 +370,11 @@ let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline ?frontier sub
           })
   in
   (* Backtrack to the deepest decision below the prefix with an
-     unexplored alternative; marks the shard done when none is left. *)
+     unexplored alternative; marks the shard done when none is left.
+     A frontier-abandoned branch backtracks exactly like an explored
+     one (its access was refreshed during the replay), so the child
+     shard inherits the subtree and the parent's sleep sets stay the
+     sequential walk's. *)
   let rec backtrack () =
     match Vec.last path with
     | None -> sub.sb_done <- true
@@ -335,7 +396,8 @@ let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline ?frontier sub
     (not sub.sb_done)
     && sub.sb_violation = None
     && !did < quota
-    && not (over_deadline ())
+    && (not (over_deadline ()))
+    && not (cancel ())
   do
     (match run_once () with
     | `Pass ->
@@ -357,122 +419,294 @@ let explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline ?frontier sub
     if sub.sb_violation = None then backtrack ()
   done
 
+(* ---- sequential-report reconstruction ---------------------------------- *)
+
+(* The parallel driver never sums per-shard counters directly: it walks
+   the stream order (own segments interleaved with children at their
+   recorded snapshots) and accumulates exactly the contiguous prefix of
+   runs the sequential DFS would have performed, stopping at the first
+   violation, the [max_runs] bound, or the first shard whose stream is
+   not yet fully recorded.  Everything the walk reads is a deterministic
+   function of which runs each shard completed — never of which domain
+   ran them or in what order — so the reconstructed report is the
+   sequential report, bit for bit, at any worker count. *)
+
+type bound_hit = {
+  bh_sh : subtree;  (* shard whose stream the bound lands in *)
+  bh_q : int;  (* own-run offset of the bound within that shard *)
+  bh_pr0 : int;  (* shard's own pruned/cutoff already accumulated *)
+  bh_cut0 : int;
+  bh_exact : bool;  (* bound fell on a snapshot: no re-run needed *)
+}
+
+type walk_stop =
+  | W_done  (* every stream fully recorded within the bound *)
+  | W_violation of witness
+  | W_bound of bound_hit
+  | W_blocked  (* hit an unfinished shard before the bound *)
+
+exception Walk_stop
+
+let walk ~limit root =
+  let pos = ref 0 and pr = ref 0 and cut = ref 0 in
+  let stop = ref W_done in
+  let rec stream s =
+    (* Own counters consumed so far, i.e. the last snapshot reached. *)
+    let consumed = ref 0 and cpr = ref 0 and ccut = ref 0 in
+    let seg r p c =
+      let d = r - !consumed in
+      if d > 0 then
+        if !pos + d > limit then begin
+          let take = limit - !pos in
+          stop :=
+            W_bound
+              {
+                bh_sh = s;
+                bh_q = !consumed + take;
+                bh_pr0 = !cpr;
+                bh_cut0 = !ccut;
+                bh_exact = take = 0;
+              };
+          pos := limit;
+          raise Walk_stop
+        end
+        else begin
+          pos := !pos + d;
+          pr := !pr + (p - !cpr);
+          cut := !cut + (c - !ccut);
+          consumed := r;
+          cpr := p;
+          ccut := c
+        end
+    in
+    Vec.iter
+      (fun cd ->
+        seg cd.at_runs cd.at_pruned cd.at_cutoff;
+        stream cd.ch)
+      s.sb_children;
+    seg s.sb_runs s.sb_pruned s.sb_cutoff;
+    match s.sb_violation with
+    | Some w ->
+      stop := W_violation w;
+      raise Walk_stop
+    | None ->
+      if not s.sb_done then begin
+        stop := W_blocked;
+        raise Walk_stop
+      end
+  in
+  (try stream root with Walk_stop -> ());
+  (!pos, !pr, !cut, !stop)
+
+(* Recorded runs in a shard's whole subtree (memoised per round). *)
+let rec total s =
+  let t = ref s.sb_runs in
+  Vec.iter (fun c -> t := !t + total c.ch) s.sb_children;
+  s.sb_total <- !t;
+  !t
+
+(* Annotate every shard with its stream rank (pre-order), ancestor
+   ranks, and the stream position its next unexplored run cannot
+   precede; returns the shards in rank order.  All pure functions of
+   recorded shard state. *)
+let annotate root =
+  let order = Vec.create () in
+  let rec go s entry anc =
+    s.sb_rank <- Vec.length order;
+    Vec.push order s;
+    s.sb_anc <- anc;
+    s.sb_lb <- entry + s.sb_total;
+    let anc' = s.sb_rank :: anc in
+    let off = ref entry in
+    let prev_at = ref 0 in
+    Vec.iter
+      (fun c ->
+        off := !off + (c.at_runs - !prev_at);
+        prev_at := c.at_runs;
+        go c.ch !off anc';
+        off := !off + c.ch.sb_total)
+      s.sb_children;
+  in
+  ignore (total root);
+  go root 0 [];
+  order
+
+(* Exact pruned/step_limited at own-run offset [q] of shard [sh], for a
+   [max_runs] bound that lands strictly inside one of its own segments:
+   replay the shard's own stream from scratch on a fresh clone, arming
+   the carve frontier at the same own-run offset [sh] was armed at, so
+   the clone's run sequence is the shard's own stream exactly.  Carved
+   children are discarded — only the counters matter.  Bounded by
+   [q <= max_runs] runs; runs without a deadline so the reported
+   counters stay exact even when a wall-clock budget expired. *)
+let rerun_for_bound ~n ~max_steps ~reduction ~setup sh q =
+  let clone =
+    subtree_make ~choices:sh.sb_choices ~flips:sh.sb_flips ~seed:sh.sb_seed
+  in
+  let pre = if sh.sb_split_at >= 0 then min q sh.sb_split_at else q in
+  if pre > 0 then
+    explore_sub ~n ~max_steps ~reduction ~setup ~quota:pre ~deadline:None
+      clone;
+  if pre < q then begin
+    clone.sb_split_depth <- sh.sb_split_depth;
+    clone.sb_split_at <- clone.sb_runs;
+    explore_sub ~n ~max_steps ~reduction ~setup ~quota:(q - pre)
+      ~deadline:None clone
+  end;
+  (clone.sb_pruned, clone.sb_cutoff)
+
 (* ---- exhaustive exploration ------------------------------------------- *)
 
-(* Split sizing is a pure function of the decision tree, never of the
-   pool width: the same subtrees, quotas and merge happen at any worker
-   count, which is what makes the report bit-identical. *)
-let target_subtrees = 64
-let first_split_depth = 4
-let split_depth_step = 3
-let first_round_ramp = 32
+(* Carve depths are in unified decision positions (schedule choices and
+   coin flips both count).  The root is carved shallow and cheap; any
+   shard still unfinished when the live set thins is re-carved at a
+   fixed relative depth — the "steal schedule".  Both triggers are pure
+   functions of recorded shard state and the round number, and the
+   report is reconstructed rather than summed, so even the
+   width-dependent steal threshold cannot leak into results. *)
+let first_split_depth = 6
+let steal_rel_depth = 6
+let first_round_quota = 1024
+let quota_growth = 8
+let steal_threshold = 2 (* arm re-splits when live < threshold * workers *)
 
 let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
-    ?(reduction = true) ?(shrink = true) ?pool ~setup () =
+    ?(reduction = true) ?(shrink = true) ?pool ?par_quota ~setup () =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) budget_s in
   let over_deadline () =
     match deadline with None -> false | Some d -> Unix.gettimeofday () > d
   in
-  (* The main-domain arena: split phase, then shrink replays. *)
+  (* The main-domain arena: the sequential fast path, then shrink
+     replays. *)
   let main_sim =
     Sim.create ~seed:0 ~max_steps ~n ~adversary:placeholder_adversary ()
   in
-  (* Phase 1 — frontier split: walk the tree truncated at [depth],
-     registering one subtree per frontier prefix and completing (and
-     counting) any run that terminates above the frontier.  Deepen
-     until there are enough subtrees to keep a pool busy, the subtree
-     count stops growing (the tree is narrower than that), or the
-     truncated walk itself already finished the job. *)
-  let split depth =
-    let tasks = Vec.create () in
-    let register choices flips seed =
-      Vec.push tasks
-        (subtree_make ~choices ~flips ~seed:(if reduction then seed else []))
-    in
-    let root = subtree_make ~choices:[||] ~flips:[||] ~seed:[] in
-    root.sb_sim <- Some main_sim;
-    explore_sub ~n ~max_steps ~reduction ~setup ~quota:max_runs ~deadline
-      ~frontier:(depth, register) root;
-    (root, tasks)
+  let root = subtree_make ~choices:[||] ~flips:[||] ~seed:[] in
+  root.sb_sim <- Some main_sim;
+  let parallel =
+    match pool with Some p -> Pool.workers p > 1 | None -> false
   in
-  let rec deepen depth prev =
-    let (root, tasks) as r = split depth in
-    let count = Vec.length tasks in
-    if
-      root.sb_violation <> None
-      || (not root.sb_done) (* run budget or deadline hit mid-split *)
-      || count = 0 (* the whole tree fits above the frontier *)
-      || count >= target_subtrees
-    then r
-    else
-      match prev with
-      | Some (pcount, pr) when count <= pcount -> pr
-      | _ -> deepen (depth + split_depth_step) (Some (count, r))
-  in
-  let root, tasks_vec = deepen first_split_depth None in
-  let tasks = Vec.to_array tasks_vec in
-  let ntasks = Array.length tasks in
-  (* Phase 2 — quota rounds.  Subtree [i]'s leaves precede subtree
-     [i+1]'s in schedule order, and a run completing during the split
-     phase postdates every registered subtree (registration stops at a
-     split-phase violation), so the lexicographically-first violation
-     is the one with the smallest index here — [ntasks] is the split
-     phase's own sentinel.  Each round hands every live shard an equal
-     slice of the remaining run budget (capped by a ramp so an early
-     violation is found before the budget is sunk into clean shards);
-     quotas depend only on the budget and the live set, so the merge is
-     worker-count independent.  After a violation, only shards with
-     smaller indices stay live — they may hold an earlier one. *)
-  let best = ref (Option.map (fun w -> (ntasks, w)) root.sb_violation) in
-  let best_idx () = match !best with Some (i, _) -> i | None -> max_int in
-  let total_runs () =
-    Array.fold_left (fun acc t -> acc + t.sb_runs) root.sb_runs tasks
-  in
-  let bound_hit = root.sb_violation = None && not root.sb_done in
-  let ramp = ref first_round_ramp in
-  let continue_ = ref ((not bound_hit) && ntasks > 0) in
-  while !continue_ do
-    let live = ref [] in
-    for i = ntasks - 1 downto 0 do
-      let t = tasks.(i) in
-      if (not t.sb_done) && t.sb_violation = None && i < best_idx () then
-        live := t :: !live
-    done;
-    let live = Array.of_list !live in
-    let l = Array.length live in
-    let left = max_runs - total_runs () in
-    if l = 0 || left <= 0 || over_deadline () then continue_ := false
-    else begin
-      let base = left / l in
-      let rem = left mod l in
-      let cap = !ramp in
-      let run_one i =
-        let quota = min (base + if i < rem then 1 else 0) cap in
-        if quota > 0 then
-          explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline
-            live.(i)
-      in
-      (match pool with
-      | Some p when Pool.workers p > 1 && l > 1 ->
-        ignore (Pool.map p l run_one)
-      | _ ->
-        for i = 0 to l - 1 do
-          run_one i
-        done);
-      Array.iteri
-        (fun i t ->
-          match t.sb_violation with
-          | Some w when i < best_idx () -> best := Some (i, w)
-          | _ -> ())
-        tasks;
-      if cap < max_runs then ramp := cap * 4
+  (* (runs, pruned, step_limited, exhausted, unshrunk violation) *)
+  let runs, pruned, step_limited, exhausted, viol =
+    if not parallel then begin
+      (* Fast path: plain sequential DFS, no carve frontier, no rounds,
+         no reconstruction — a 1-worker pool pays nothing for the
+         parallel machinery.  The parallel path reconstructs exactly
+         this path's report, so the two stay bit-identical. *)
+      explore_sub ~n ~max_steps ~reduction ~setup ~quota:max_runs ~deadline
+        root;
+      ( root.sb_runs,
+        root.sb_pruned,
+        root.sb_cutoff,
+        root.sb_done && root.sb_violation = None,
+        root.sb_violation )
     end
-  done;
+    else begin
+      let p = Option.get pool in
+      root.sb_split_depth <- first_split_depth;
+      root.sb_split_at <- 0;
+      (* An explicit [par_quota] freezes the per-round quota (the test
+         knob: many small rounds exercise the steal schedule on small
+         trees); the default ramps geometrically so real explorations
+         finish in a handful of barriers. *)
+      let round_quota = ref (Option.value par_quota ~default:first_round_quota) in
+      let grow_quota = par_quota = None in
+      let prev_sched = ref [] in
+      let out = ref None in
+      while !out = None do
+        let pos, pr, cut, stop = walk ~limit:max_runs root in
+        match stop with
+        | W_done -> out := Some (pos, pr, cut, true, None)
+        | W_violation w -> out := Some (pos, pr, cut, false, Some w)
+        | W_bound b ->
+          let bpr, bcut =
+            if b.bh_exact then (pr, cut)
+            else begin
+              let rp, rc =
+                rerun_for_bound ~n ~max_steps ~reduction ~setup b.bh_sh b.bh_q
+              in
+              (pr + (rp - b.bh_pr0), cut + (rc - b.bh_cut0))
+            end
+          in
+          out := Some (pos, bpr, bcut, false, None)
+        | W_blocked ->
+          if over_deadline () then
+            (* Wall-clock budget: report the contiguous determinate
+               prefix — the one knob that is documented to depend on
+               timing, exactly as it already does sequentially. *)
+            out := Some (pos, pr, cut, false, None)
+          else begin
+            let order = annotate root in
+            (* Smallest stream rank holding a violation: shards ranked
+               after it (outside its subtree) can only produce later
+               witnesses, so they are dead weight. *)
+            let vrank = ref max_int in
+            Vec.iter
+              (fun s ->
+                if s.sb_violation <> None && s.sb_rank < !vrank then
+                  vrank := s.sb_rank)
+              order;
+            let live = ref [] in
+            Vec.iter
+              (fun s ->
+                let needed =
+                  (not s.sb_done)
+                  && s.sb_violation = None
+                  && s.sb_lb < max_runs
+                  && ((not (!vrank < s.sb_rank))
+                     || List.mem !vrank s.sb_anc)
+                in
+                if needed then live := s :: !live)
+              order;
+            let live = List.rev !live in
+            match live with
+            | [] ->
+              (* Every unfinished shard is beyond the bound or behind a
+                 violation; the next walk terminates. *)
+              out := Some (pos, pr, cut, false, None)
+            | _ ->
+              (* Steal schedule: when the live set is too thin to keep
+                 the pool busy, re-carve the shards that survived a
+                 whole previous round — they are the skewed, fat
+                 subtrees.  Arming donates only never-visited branches,
+                 so it is sound mid-stream. *)
+              if List.length live < steal_threshold * Pool.workers p then
+                List.iter
+                  (fun s ->
+                    if s.sb_split_depth < 0 && List.memq s !prev_sched then begin
+                      s.sb_split_depth <- prefix_len s + steal_rel_depth;
+                      s.sb_split_at <- s.sb_runs
+                    end)
+                  live;
+              let arr = Array.of_list live in
+              let gate = Pool.Gate.create ~level:!vrank () in
+              let shed i =
+                let g = Pool.Gate.level gate in
+                g < arr.(i).sb_rank && not (List.mem g arr.(i).sb_anc)
+              in
+              Pool.map_gated p ~skip:shed (Array.length arr) (fun i ->
+                  let s = arr.(i) in
+                  let quota = min !round_quota (max_runs - s.sb_lb) in
+                  explore_sub ~n ~max_steps ~reduction ~setup ~quota ~deadline
+                    ~cancel:(fun () -> shed i)
+                    s;
+                  if s.sb_violation <> None then
+                    Pool.Gate.lower gate s.sb_rank);
+              prev_sched := live;
+              if grow_quota then
+                round_quota :=
+                  if !round_quota > max_runs / quota_growth then max_runs
+                  else !round_quota * quota_growth
+          end
+      done;
+      Option.get !out
+    end
+  in
   let violation =
-    match !best with
+    match viol with
     | None -> None
-    | Some (_, w) when not shrink -> Some w
-    | Some (_, w) ->
+    | Some w when not shrink -> Some w
+    | Some w ->
       let still_fails choices flips =
         match replay_on main_sim ~choices ~flips ~setup with
         | Fail _, _ -> true
@@ -490,15 +724,4 @@ let explore ~n ?(max_steps = 2000) ?(max_runs = 200_000) ?budget_s
       | Fail failure, clock -> Some { choices; flips; failure; clock }
       | (Pass | Cutoff), _ -> Some w)
   in
-  let exhausted =
-    violation = None && root.sb_done
-    && Array.for_all (fun t -> t.sb_done) tasks
-  in
-  {
-    runs = total_runs ();
-    pruned = Array.fold_left (fun acc t -> acc + t.sb_pruned) root.sb_pruned tasks;
-    step_limited =
-      Array.fold_left (fun acc t -> acc + t.sb_cutoff) root.sb_cutoff tasks;
-    exhausted;
-    violation;
-  }
+  { runs; pruned; step_limited; exhausted; violation }

@@ -14,6 +14,7 @@ type job = {
 
 type t = {
   target_workers : int;
+  creator : int;  (* domain id of the creating (driving) domain *)
   m : Mutex.t;
   work : Condition.t;  (* a job arrived, or the pool is stopping *)
   finished : Condition.t;  (* the current job may be complete *)
@@ -21,6 +22,7 @@ type t = {
   mutable error : exn option;
   mutable stop : bool;
   mutable domains : unit Domain.t array;  (* spawned lazily *)
+  mutable helper_minor : float;  (* helper-domain minor words; guarded by [m] *)
 }
 
 let default_workers () =
@@ -37,6 +39,7 @@ let create ?workers () =
   in
   {
     target_workers;
+    creator = (Domain.self () :> int);
     m = Mutex.create ();
     work = Condition.create ();
     finished = Condition.create ();
@@ -44,9 +47,21 @@ let create ?workers () =
     error = None;
     stop = false;
     domains = [||];
+    helper_minor = 0.0;
   }
 
 let workers t = t.target_workers
+
+let helper_minor_words t =
+  Mutex.lock t.m;
+  let w = t.helper_minor in
+  Mutex.unlock t.m;
+  w
+
+let reset_helper_minor_words t =
+  Mutex.lock t.m;
+  t.helper_minor <- 0.0;
+  Mutex.unlock t.m
 
 (* Drain the job from the calling domain.  Takes and returns with
    [t.m] held.  Trials are claimed in chunks — one lock round-trip per
@@ -61,6 +76,11 @@ let drain t j =
     j.next <- hi;
     j.in_flight <- j.in_flight + (hi - lo);
     Mutex.unlock t.m;
+    (* [Gc.minor_words] is per-domain, so the driving domain's counter
+       misses everything helpers allocate.  Meter each helper chunk and
+       bank it under the lock we retake anyway. *)
+    let helper = (Domain.self () :> int) <> t.creator in
+    let m0 = if helper then Gc.minor_words () else 0.0 in
     let err =
       try
         for i = lo to hi - 1 do
@@ -69,7 +89,9 @@ let drain t j =
         None
       with e -> Some e
     in
+    let dm = if helper then Gc.minor_words () -. m0 else 0.0 in
     Mutex.lock t.m;
+    if helper then t.helper_minor <- t.helper_minor +. dm;
     (match err with
     | Some e ->
       if t.error = None then t.error <- Some e;
@@ -148,6 +170,31 @@ let map t count f =
 let map_list t f xs =
   let arr = Array.of_list xs in
   map t (Array.length arr) (fun i -> f arr.(i)) |> Array.to_list
+
+module Gate = struct
+  (* A monotone min-latch: [lower] only ever decreases the level, so a
+     racy [level] read is conservative — a reader may briefly see a
+     stale (higher) level and do work it could have skipped, but never
+     skips work it must do.  That is exactly the contract cancellation
+     needs to stay output-deterministic: skipping is an optimisation,
+     counting never reads the gate. *)
+  type g = int Atomic.t
+
+  let create ?(level = max_int) () = Atomic.make level
+  let level = Atomic.get
+
+  let rec lower g r =
+    let c = Atomic.get g in
+    if r < c && not (Atomic.compare_and_set g c r) then lower g r
+end
+
+let map_gated t ~skip count f =
+  ignore
+    (map t count (fun i ->
+         (* [skip] is re-read at claim time on the claiming domain, so a
+            gate lowered mid-job sheds the not-yet-started tail without
+            any extra synchronisation. *)
+         if not (skip i) then f i))
 
 let map_seeded t ~rng ~trials f =
   (* Snapshot the base state so helper domains only ever read it. *)

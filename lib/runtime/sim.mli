@@ -112,6 +112,14 @@ val finished : t -> int -> bool
 val clock : t -> int
 (** Global steps executed so far. *)
 
+val owner_domain : t -> int
+(** Id of the domain that currently owns the arena — the one that
+    {!create}d or last {!reset} it.  Stealing an arena between domains
+    is legal exactly at a {!reset} boundary (which re-adopts it); this
+    accessor lets harness code assert that invariant, e.g. that no
+    explorer worker ever drives a shard arena another domain still
+    owns. *)
+
 val steps_of : t -> int -> int
 (** Steps taken by one process. *)
 

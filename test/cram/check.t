@@ -23,7 +23,7 @@ A safe-weakened register yields a non-linearizable history (exit 1)
 with a minimal replayable witness:
 
   $ $BPRC check reg-safe --json --out w.json
-  {"kind":"bprc-check-report","version":1,"workers":1,"outcome":"violation","configs":[{"name":"reg-safe","runs":142,"pruned":0,"step_limited":0,"exhausted":false,"failure":"non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]","clock":12,"choices":1,"flips":0,"witness":"w.json"}]}
+  {"kind":"bprc-check-report","version":1,"workers":1,"outcome":"violation","configs":[{"name":"reg-safe","runs":2,"pruned":0,"step_limited":0,"exhausted":false,"failure":"non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]","clock":12,"choices":1,"flips":0,"witness":"w.json"}]}
   [1]
 
   $ cat w.json
@@ -46,7 +46,7 @@ Human-readable exploration output for the regular-weakened register
 (the new-old inversion needs one scheduling choice and one coin flip):
 
   $ $BPRC check reg-regular
-  check: reg-regular      FAILURE after 217 runs: non-linearizable register history: p0:R=7[2,3] p0:R=0[4,5] p1:W(7)[1,6]
+  check: reg-regular      FAILURE after 54 runs: non-linearizable register history: p0:R=7[2,3] p0:R=0[4,5] p1:W(7)[1,6]
     schedule: 1 choices, 1 flips (ddmin-minimized)
     witness : check-witness.json
     repro   : bprc check --replay check-witness.json

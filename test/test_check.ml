@@ -370,8 +370,118 @@ let test_worker_count_invariance () =
             (Printf.sprintf "%s witness @%d workers" name w)
             (witness_json cfg base.Explorer.violation)
             (witness_json cfg stats.Explorer.violation))
-        [ 1; 2; 4 ])
+        [ 1; 2; 4; 8 ])
     [ "snapshot-atomic"; "snapshot-unsafe" ]
+
+(* The steal schedule under adversarial skew: one frontier prefix holds
+   nearly every run, so the initial carve is useless and the re-carve
+   (work-stealing) path must fire for any pool wider than one worker.
+   [par_quota:16] forces many small rounds on a tree this size, which
+   is what makes the thinning live set trigger re-carving.
+
+   The setup is built so p0 going first kills the branching instantly
+   (it reads the flag's initial 0 and exits), while p1 going first
+   opens ~C(12,5) interleavings of the two write loops: well over 90%
+   of all runs sit under the single p1-first prefix.
+
+   Alongside the stats checks, the setup itself asserts the steal
+   handoff contract: it runs right after [Sim.reset] on whichever
+   domain claimed the shard, so the arena it sees must already be owned
+   by that domain — a non-adopted arena increments [bad_owner]. *)
+let test_skewed_steal () =
+  let module Sim = Bprc_runtime.Sim in
+  let bad_owner = Atomic.make 0 in
+  let setup sim =
+    if Sim.owner_domain sim <> (Domain.self () :> int) then
+      Atomic.incr bad_owner;
+    let (module R) = Sim.runtime sim in
+    let flag = R.make_reg ~name:"flag" 0 in
+    let a = R.make_reg ~name:"a" 0 in
+    let b = R.make_reg ~name:"b" 0 in
+    ignore
+      (Sim.spawn sim (fun () ->
+           if R.read flag = 1 then
+             for k = 1 to 12 do
+               R.write a k
+             done));
+    ignore
+      (Sim.spawn sim (fun () ->
+           R.write flag 1;
+           for k = 1 to 4 do
+             R.write b k
+           done));
+    fun () -> Ok ()
+  in
+  let explore ?pool () =
+    Explorer.explore ~n:2 ~max_steps:256 ~reduction:false ~shrink:false ?pool
+      ~par_quota:16 ~setup ()
+  in
+  let base = explore () in
+  Alcotest.(check bool) "skewed tree exhausted sequentially" true
+    base.Explorer.exhausted;
+  Alcotest.(check bool)
+    (Printf.sprintf "tree big enough to shard (%d runs)" base.Explorer.runs)
+    true
+    (base.Explorer.runs > 500);
+  List.iter
+    (fun w ->
+      let pool = Bprc_harness.Pool.create ~workers:w () in
+      let stats = explore ~pool () in
+      Bprc_harness.Pool.shutdown pool;
+      Alcotest.(check int)
+        (Printf.sprintf "skewed runs @%d workers" w)
+        base.Explorer.runs stats.Explorer.runs;
+      Alcotest.(check int)
+        (Printf.sprintf "skewed pruned @%d workers" w)
+        base.Explorer.pruned stats.Explorer.pruned;
+      Alcotest.(check int)
+        (Printf.sprintf "skewed step_limited @%d workers" w)
+        base.Explorer.step_limited stats.Explorer.step_limited;
+      Alcotest.(check bool)
+        (Printf.sprintf "skewed exhausted @%d workers (all shards complete)" w)
+        true stats.Explorer.exhausted)
+    [ 1; 2; 4; 8 ];
+  Alcotest.(check int) "no worker saw a foreign-owned arena" 0
+    (Atomic.get bad_owner)
+
+(* [max_runs] landing mid-stream: the parallel explorer reconstructs
+   the exact counters of a sequential DFS stopped after precisely
+   [max_runs] runs, including when the bound falls strictly inside one
+   shard's segment (forcing the bounded re-run path).  [par_quota:8]
+   makes rounds small so most bounds land mid-shard. *)
+let test_max_runs_mid_shard () =
+  let cfg = get_config "snapshot-unsafe" in
+  List.iter
+    (fun mr ->
+      let run ?pool () =
+        Explorer.explore ~n:cfg.Config.n ~max_steps:cfg.Config.max_steps
+          ~max_runs:mr ~reduction:cfg.Config.reduction ?pool ~par_quota:8
+          ~setup:cfg.Config.setup ()
+      in
+      let base = run () in
+      List.iter
+        (fun w ->
+          let pool = Bprc_harness.Pool.create ~workers:w () in
+          let stats = run ~pool () in
+          Bprc_harness.Pool.shutdown pool;
+          Alcotest.(check int)
+            (Printf.sprintf "max_runs %d runs @%d workers" mr w)
+            base.Explorer.runs stats.Explorer.runs;
+          Alcotest.(check int)
+            (Printf.sprintf "max_runs %d pruned @%d workers" mr w)
+            base.Explorer.pruned stats.Explorer.pruned;
+          Alcotest.(check int)
+            (Printf.sprintf "max_runs %d step_limited @%d workers" mr w)
+            base.Explorer.step_limited stats.Explorer.step_limited;
+          Alcotest.(check bool)
+            (Printf.sprintf "max_runs %d exhausted @%d workers" mr w)
+            base.Explorer.exhausted stats.Explorer.exhausted;
+          Alcotest.(check bool)
+            (Printf.sprintf "max_runs %d violation parity @%d workers" mr w)
+            (base.Explorer.violation = None)
+            (stats.Explorer.violation = None))
+        [ 2; 4 ])
+    [ 1; 7; 123; 1000 ]
 
 let suite =
   [
@@ -407,4 +517,8 @@ let suite =
       test_consensus_corner_search;
     Alcotest.test_case "explore: worker-count invariance" `Quick
       test_worker_count_invariance;
+    Alcotest.test_case "explore: skewed-subtree stealing" `Quick
+      test_skewed_steal;
+    Alcotest.test_case "explore: max_runs mid-shard" `Quick
+      test_max_runs_mid_shard;
   ]
