@@ -42,6 +42,11 @@
      explorer-parN  the same config and tree over a N-worker pool
                  (ops = exploration runs; all rows from explorer-seq
                  down must report identical run counts — checked)
+     service-nN  sustained decision throughput of the lib/service
+                 engine at N processes: a closed-loop client keeps the
+                 1000-instance in-flight window full over a 2-worker
+                 pool (ops = decided instances; the metric map also
+                 carries submit-to-decide p50/p99 latency)
 
    The substrate rows are single-domain on purpose: this suite measures
    the hot path itself.  The explorer-parN rows are the exception —
@@ -62,9 +67,12 @@ type sample = {
   sim_steps : float option;  (* simulated steps, when the bench counts them *)
   wall_s : float;
   minor_words : float;
+  extra_metrics : (string * float) list;
+      (* bench-specific metrics (e.g. service latency percentiles),
+         merged into the table's metric map under "<bench>_<key>" *)
 }
 
-let measure ~bench ~unit_ f =
+let measure ?(extra = fun () -> []) ~bench ~unit_ f =
   (* Start from an empty minor heap so the reported words are the
      bench's own allocations, not a promotion of earlier garbage. *)
   Gc.full_major ();
@@ -73,7 +81,15 @@ let measure ~bench ~unit_ f =
   let ops, sim_steps, extra_minor = f () in
   let wall_s = Unix.gettimeofday () -. t0 in
   let minor_words = Gc.minor_words () -. m0 +. extra_minor in
-  { bench; unit_; ops = float_of_int ops; sim_steps; wall_s; minor_words }
+  {
+    bench;
+    unit_;
+    ops = float_of_int ops;
+    sim_steps;
+    wall_s;
+    minor_words;
+    extra_metrics = extra ();
+  }
 
 (* ---- raw simulator steps --------------------------------------------- *)
 
@@ -217,6 +233,64 @@ let bench_explorer_par ~workers ~trials () =
   Pool.shutdown pool;
   (!runs, None, helper_words)
 
+(* ---- sustained service decisions --------------------------------------- *)
+
+(* The decision-engine rows: a closed-loop client keeps the engine's
+   in-flight window full (submit until [`Overloaded], consume one,
+   repeat), so the rate reported is the engine's sustained capacity,
+   not a burst.  Ops are decided instances; sim_steps sums the steps
+   every instance consumed; latency percentiles come back through
+   [extra] so they land in the metric map next to ops_per_sec.  The
+   pool helper words are banked like the explorer-parN rows. *)
+let service_cap = 1_000
+let service_workers = 2
+
+let bench_service ~n ~per_trial ~trials ~latency () =
+  let module E = Bprc_service.Engine in
+  let total = per_trial * trials in
+  let pool = Pool.create ~workers:service_workers () in
+  Pool.reset_helper_minor_words pool;
+  let engine =
+    E.create ~mode:E.Throughput ~seed:(0xBE2 + n) ~in_flight_cap:service_cap
+      ~lat_capacity:total ~pool ()
+  in
+  let spec = Bprc_service.Workload.spec ~n () in
+  let decided = ref 0 in
+  let steps = ref 0 in
+  let account (d : E.decided) =
+    (match d.E.spec_check with
+    | Ok () -> ()
+    | Error e -> failwith ("service bench spec violation: " ^ e));
+    if not d.E.completed then failwith "service bench instance incomplete";
+    incr decided;
+    steps := !steps + d.E.steps
+  in
+  let submitted = ref 0 in
+  while !submitted < total do
+    match E.submit engine spec with
+    | `Accepted _ -> incr submitted
+    | `Overloaded -> (
+      match E.next_decided engine with
+      | Some d -> account d
+      | None -> assert false (* overloaded implies something in flight *))
+  done;
+  List.iter account (E.drain engine);
+  if !decided <> total then failwith "service bench lost instances";
+  let st = E.stats engine in
+  latency := [ ("lat_p50_s", st.E.lat_p50_s); ("lat_p99_s", st.E.lat_p99_s) ];
+  E.shutdown engine;
+  let helper_words = Pool.helper_minor_words pool in
+  Pool.shutdown pool;
+  (!decided, Some (float_of_int !steps), helper_words)
+
+let measure_service ~n ~per_trial ~trials =
+  let latency = ref [] in
+  measure
+    ~extra:(fun () -> !latency)
+    ~bench:(Printf.sprintf "service-n%d" n)
+    ~unit_:"instance"
+    (bench_service ~n ~per_trial ~trials ~latency)
+
 (* ---- table / report --------------------------------------------------- *)
 
 let ops_per_sec s = s.ops /. s.wall_s
@@ -253,14 +327,16 @@ let table ~trials samples =
          helper domains (per-domain Gc counters banked at chunk join)";
         "explorer-seq is the same config as explorer-parN with no pool: \
          the baseline for par scaling asserts";
+        "service-nN rows drive the lib/service decision engine closed-loop \
+         (in-flight window pinned at its cap of 1000) over a 2-worker pool; \
+         their lat_p50_s/lat_p99_s metrics are submit-to-decide latency";
       ]
     ~metrics:
       (List.concat_map
          (fun s ->
-           [
-             metric s.bench s "ops_per_sec" ops_per_sec;
-             metric s.bench s "minor_words_per_op" minor_per_op;
-           ])
+           metric s.bench s "ops_per_sec" ops_per_sec
+           :: metric s.bench s "minor_words_per_op" minor_per_op
+           :: List.map (fun (k, v) -> (s.bench ^ "_" ^ k, v)) s.extra_metrics)
          samples)
     (List.map row samples)
 
@@ -347,6 +423,9 @@ let () =
         (bench_explorer_par ~workers:2 ~trials);
       measure ~bench:"explorer-par4" ~unit_:"run"
         (bench_explorer_par ~workers:4 ~trials);
+      measure_service ~n:3 ~per_trial:250 ~trials;
+      measure_service ~n:8 ~per_trial:125 ~trials;
+      measure_service ~n:16 ~per_trial:125 ~trials;
     ]
   in
   (* The parallel explorer rows must agree on the work done: identical

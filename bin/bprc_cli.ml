@@ -851,6 +851,237 @@ let check_cmd =
       $ budget_arg $ out_arg $ json_arg $ no_shrink_arg $ replay_arg
       $ workers_opt_arg)
 
+(* --- serve-bench ------------------------------------------------------- *)
+
+(* Canonical digest of a decided stream: the pure per-instance fields
+   (ticket, decisions, completion, steps, rounds, spec verdict) rendered
+   to a fixed textual form and MD5-hashed.  Wall-clock fields (latency,
+   shard) are excluded on purpose, so the digest is identical across
+   worker counts, across deterministic/throughput modes, and across
+   machines — the cram golden and the CI invariance diff both pin it. *)
+let decided_digest_add buf (d : Bprc_service.Engine.decided) =
+  Buffer.add_string buf (string_of_int d.Bprc_service.Engine.ticket);
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf
+        (match v with None -> '?' | Some true -> '1' | Some false -> '0'))
+    d.Bprc_service.Engine.decisions;
+  Buffer.add_string buf
+    (Printf.sprintf "|%b|%d|%d|%s\n" d.Bprc_service.Engine.completed
+       d.Bprc_service.Engine.steps d.Bprc_service.Engine.rounds
+       (match d.Bprc_service.Engine.spec_check with
+       | Ok () -> "ok"
+       | Error e -> e))
+
+let serve_bench_cmd =
+  let instances_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "instances" ] ~docv:"K"
+          ~doc:"Total consensus instances to submit and decide.")
+  in
+  let in_flight_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "in-flight" ] ~docv:"M"
+          ~doc:
+            "In-flight cap: admitted-but-undelivered instances beyond \
+             which submission is refused (backpressure window).")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Instances dispatched per pool round (default 16/worker).")
+  in
+  let mode_conv =
+    let parse = function
+      | "det" | "deterministic" -> Ok Bprc_service.Engine.Deterministic
+      | "thr" | "throughput" -> Ok Bprc_service.Engine.Throughput
+      | s -> Error (`Msg ("unknown mode " ^ s))
+    in
+    Arg.conv
+      (parse, fun ppf m -> Fmt.string ppf (Bprc_service.Engine.mode_name m))
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt mode_conv Bprc_service.Engine.Throughput
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "det (reproducible decided stream, no wall-clock fields) or \
+             thr (p50/p99 latency pipeline on).  Decisions are identical \
+             either way.")
+  in
+  let registers_conv =
+    let parse = function
+      | "atomic" -> Ok []
+      | "regular" ->
+        Ok
+          [
+            Bprc_faults.Fault_plan.Weaken
+              { index = -1; semantics = Bprc_faults.Fault_plan.Regular };
+          ]
+      | "safe" ->
+        Ok
+          [
+            Bprc_faults.Fault_plan.Weaken
+              { index = -1; semantics = Bprc_faults.Fault_plan.Safe };
+          ]
+      | s -> Error (`Msg ("unknown register strength " ^ s))
+    in
+    Arg.conv (parse, fun ppf (_ : Bprc_faults.Fault_plan.t) -> Fmt.string ppf "-")
+  in
+  let registers_arg =
+    Arg.(
+      value & opt registers_conv []
+      & info [ "registers" ] ~docv:"STRENGTH"
+          ~doc:
+            "Register strength every instance runs under: atomic \
+             (default), regular, safe.  Weakened strengths ablate \
+             robustness; spec violations then exit 1 with a count.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
+  in
+  let action n seed algo sched pattern instances cap batch mode registers
+      json workers =
+    if instances < 1 then begin
+      Fmt.epr "--instances expects a positive integer@.";
+      exit 2
+    end;
+    if cap < 1 then begin
+      Fmt.epr "--in-flight expects a positive integer@.";
+      exit 2
+    end;
+    (match batch with
+    | Some b when b < 1 ->
+      Fmt.epr "--batch expects a positive integer@.";
+      exit 2
+    | _ -> ());
+    let pool = pool_of_workers workers in
+    let eng =
+      Bprc_service.Engine.create ~mode ~seed ~in_flight_cap:cap ?batch
+        ~pool ()
+    in
+    let spec =
+      Bprc_service.Workload.spec ~algo ~pattern ~sched ~faults:registers ~n ()
+    in
+    let digest_buf = Buffer.create 4096 in
+    let consume d = decided_digest_add digest_buf d in
+    let t0 = Unix.gettimeofday () in
+    (* Closed-loop driver: keep the window full, deliver when refused. *)
+    let rec feed remaining =
+      if remaining > 0 then
+        match Bprc_service.Engine.submit eng spec with
+        | `Accepted _ -> feed (remaining - 1)
+        | `Overloaded -> (
+          match Bprc_service.Engine.next_decided eng with
+          | Some d ->
+            consume d;
+            feed remaining
+          | None -> assert false (* window full implies work in flight *))
+    in
+    feed instances;
+    List.iter consume (Bprc_service.Engine.drain eng);
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Bprc_service.Engine.shutdown eng;
+    let st = Bprc_service.Engine.stats eng in
+    let digest = Digest.to_hex (Digest.string (Buffer.contents digest_buf)) in
+    let mode_s = Bprc_service.Engine.mode_name mode in
+    let throughput_mode = mode = Bprc_service.Engine.Throughput in
+    let open Bprc_service.Engine in
+    if json then begin
+      let num v = if Float.is_nan v then Bprc_util.Json.Null else Bprc_util.Json.Float v in
+      print_endline
+        (Bprc_util.Json.to_string
+           (Bprc_util.Json.Obj
+              [
+                ("kind", Bprc_util.Json.Str "bprc-serve-report");
+                ("version", Bprc_util.Json.Int 1);
+                ("mode", Bprc_util.Json.Str mode_s);
+                ( "workers",
+                  Bprc_util.Json.Int (Bprc_harness.Pool.workers pool) );
+                ("n", Bprc_util.Json.Int n);
+                ("algo", Bprc_util.Json.Str (Bprc_harness.Run.algo_name algo));
+                ( "sched",
+                  Bprc_util.Json.Str (Bprc_harness.Run.sched_name sched) );
+                ("seed", Bprc_util.Json.Int seed);
+                ("instances", Bprc_util.Json.Int instances);
+                ("in_flight_cap", Bprc_util.Json.Int cap);
+                ("submitted", Bprc_util.Json.Int st.submitted);
+                ("overloaded", Bprc_util.Json.Int st.overloaded);
+                ("decided", Bprc_util.Json.Int st.decided);
+                ("delivered", Bprc_util.Json.Int st.delivered);
+                ("violations", Bprc_util.Json.Int st.violations);
+                ("incomplete", Bprc_util.Json.Int st.incomplete);
+                ("max_in_flight", Bprc_util.Json.Int st.max_in_flight);
+                ("wall_s", Bprc_util.Json.Float wall_s);
+                ("busy_s", Bprc_util.Json.Float st.busy_s);
+                ("decisions_per_sec", num st.decisions_per_sec);
+                ("lat_p50_s", num st.lat_p50_s);
+                ("lat_p99_s", num st.lat_p99_s);
+                ( "rounds_hist",
+                  Bprc_util.Json.Arr
+                    (List.map
+                       (fun (r, c) ->
+                         Bprc_util.Json.Obj
+                           [
+                             ("rounds", Bprc_util.Json.Int r);
+                             ("count", Bprc_util.Json.Int c);
+                           ])
+                       st.rounds_hist) );
+                ("decisions_digest", Bprc_util.Json.Str digest);
+              ]))
+    end
+    else begin
+      Fmt.pr "mode        : %s@." mode_s;
+      Fmt.pr "workers     : %d@." (Bprc_harness.Pool.workers pool);
+      Fmt.pr "instance    : n=%d %s, %s scheduler@." n
+        (Bprc_harness.Run.algo_name algo)
+        (Bprc_harness.Run.sched_name sched);
+      Fmt.pr "submitted   : %d  (backpressure refusals: %d)@." st.submitted
+        st.overloaded;
+      Fmt.pr "decided     : %d  (violations: %d, incomplete: %d)@." st.decided
+        st.violations st.incomplete;
+      Fmt.pr "in-flight   : cap %d, high-water %d@." cap
+        st.max_in_flight;
+      (* Deterministic mode keeps timing out of the human output so the
+         transcript itself is reproducible (the JSON report still
+         carries wall_s/busy_s for whoever wants them). *)
+      if throughput_mode then begin
+        Fmt.pr "throughput  : %.0f decisions/s  (wall %.2fs, busy %.2fs)@."
+          (float_of_int st.decided /. wall_s)
+          wall_s st.busy_s;
+        Fmt.pr "latency     : p50 %.4fs  p99 %.4fs@." st.lat_p50_s
+          st.lat_p99_s
+      end;
+      Fmt.pr "rounds      : %s@."
+        (String.concat " "
+           (List.map
+              (fun (r, c) -> Printf.sprintf "%dx%d" c r)
+              st.rounds_hist));
+      Fmt.pr "digest      : %s@." digest
+    end;
+    exit (if st.violations > 0 then exit_violation else exit_ok)
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Drive the long-lived decision engine with a sustained stream of \
+          consensus instances over a domain pool: bounded in-flight window \
+          with backpressure, per-shard simulator-arena reuse, streaming \
+          decisions/sec + p50/p99 latency stats.  Exit codes: 0 all decided \
+          streams spec-clean, 1 spec violations observed.")
+    Term.(
+      const action $ n_arg $ seed_arg $ algo_arg $ sched_arg $ pattern_arg
+      $ instances_arg $ in_flight_arg $ batch_arg $ mode_arg $ registers_arg
+      $ json_arg $ workers_opt_arg)
+
 let main =
   Cmd.group
     (Cmd.info "bprc" ~version:"1.0.0"
@@ -859,6 +1090,6 @@ let main =
           1989): simulator, baselines, experiment suite, and fault-injection \
           hunting.")
     [ run_cmd; coin_cmd; experiment_cmd; multi_cmd; trace_cmd; hunt_cmd;
-      replay_cmd; check_cmd ]
+      replay_cmd; check_cmd; serve_bench_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -126,19 +126,36 @@ let ensure_spawned t =
 
 let shutdown t =
   Mutex.lock t.m;
-  t.stop <- true;
-  Condition.broadcast t.work;
-  Mutex.unlock t.m;
-  Array.iter Domain.join t.domains;
-  t.domains <- [||]
+  if t.stop then
+    (* Second shutdown: the helpers are already joined (or were never
+       spawned); there is nothing left to stop.  Explicitly a no-op so
+       lifecycle code — a service engine tearing down, an [at_exit]
+       hook racing a manual shutdown — can call it defensively. *)
+    Mutex.unlock t.m
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+(* Dispatching on a shut-down pool is a lifecycle bug (work would
+   silently run inline on the caller, hiding the missing parallelism),
+   so every map entry point refuses loudly.  [t.stop] is only ever
+   flipped by [shutdown] on the driving domain — the same domain that
+   maps — so reading it unlocked here is race-free under the pool's
+   single-driver contract. *)
+let check_live t what = if t.stop then invalid_arg (what ^ ": pool is shut down")
 
 let map t count f =
+  check_live t "Pool.map";
   if count < 0 then invalid_arg "Pool.map: negative count";
   if count = 0 then [||]
   else begin
     let results = Array.make count None in
     let run i = results.(i) <- Some (f i) in
-    if t.target_workers <= 1 || count = 1 || t.stop then
+    if t.target_workers <= 1 || count = 1 then
       for i = 0 to count - 1 do
         run i
       done
@@ -168,6 +185,7 @@ let map t count f =
   end
 
 let map_list t f xs =
+  check_live t "Pool.map_list";
   let arr = Array.of_list xs in
   map t (Array.length arr) (fun i -> f arr.(i)) |> Array.to_list
 
@@ -189,6 +207,7 @@ module Gate = struct
 end
 
 let map_gated t ~skip count f =
+  check_live t "Pool.map_gated";
   ignore
     (map t count (fun i ->
          (* [skip] is re-read at claim time on the claiming domain, so a
@@ -197,6 +216,7 @@ let map_gated t ~skip count f =
          if not (skip i) then f i))
 
 let map_seeded t ~rng ~trials f =
+  check_live t "Pool.map_seeded";
   (* Snapshot the base state so helper domains only ever read it. *)
   let base = Bprc_rng.Splitmix.copy rng in
   map t trials (fun i -> f (Bprc_rng.Splitmix.fork base i))

@@ -29,8 +29,10 @@ val workers : t -> int
 (** Total worker count (including the calling domain). *)
 
 val shutdown : t -> unit
-(** Join the helper domains.  Idempotent; the pool falls back to
-    inline sequential execution afterwards. *)
+(** Join the helper domains.  Idempotent: a second (or later) call is
+    an explicit no-op.  A shut-down pool refuses further work — {!map}
+    and its derivatives raise [Invalid_argument] rather than silently
+    degrading to inline execution. *)
 
 val default : unit -> t
 (** A process-wide shared pool of {!default_workers} workers, created
@@ -44,7 +46,9 @@ val map : t -> int -> (int -> 'a) -> 'a array
 (** [map pool count f] is [[| f 0; ...; f (count-1) |]], with the
     calls distributed over the pool's workers.  [f] must be safe to
     call from any domain.  If any call raises, one of the exceptions is
-    re-raised in the caller after all claimed trials finish. *)
+    re-raised in the caller after all claimed trials finish.
+    @raise Invalid_argument when the pool has been {!shutdown} (as do
+    {!map_list}, {!map_gated} and {!map_seeded}). *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list pool f xs] is [List.map f xs] with the calls distributed

@@ -186,7 +186,7 @@ let probe_adversary ~n ~sched ~probe =
     oscillation_adversary ~n ~threshold ~published_sum ~pending ()
   | s -> plain_adversary s
 
-let consensus_once ?(params = Bprc_core.Params.default)
+let consensus_once ?sim:reuse ?(params = Bprc_core.Params.default)
     ?(max_steps = 20_000_000) ?(sched = Random_sched) ?(crash_at = [])
     ?(faults = []) ~algo ~pattern ~n ~seed () =
   let inputs = inputs_of_pattern pattern ~n ~seed in
@@ -194,7 +194,30 @@ let consensus_once ?(params = Bprc_core.Params.default)
   let adversary =
     Adversary.make ~name:"dispatch" (fun ctx -> !slot.Adversary.choose ctx)
   in
-  let sim = Sim.create ~seed ~max_steps ~n ~adversary () in
+  let sim =
+    match reuse with
+    | Some sim ->
+      (* Arena reuse: [Sim.reset] rewinds to the state a fresh [create]
+         would produce (and adopts ownership on this domain), so the
+         run is bit-identical to the fresh-simulator path — the service
+         engine's shards lean on this to amortize one arena over
+         thousands of instances.  The arena's creation-time shape must
+         match: same [n], and a creation-time step bound of at least
+         [max_steps] (the driver loop below enforces the requested
+         bound itself, one step at a time). *)
+      if Sim.n sim <> n then
+        invalid_arg
+          (Printf.sprintf "Run.consensus_once: reused sim has n=%d, want n=%d"
+             (Sim.n sim) n);
+      if Sim.max_steps sim < max_steps then
+        invalid_arg
+          (Printf.sprintf
+             "Run.consensus_once: reused sim caps steps at %d, want %d"
+             (Sim.max_steps sim) max_steps);
+      Sim.reset ~seed ~adversary sim;
+      sim
+    | None -> Sim.create ~seed ~max_steps ~n ~adversary ()
+  in
   let fault_driver = Bprc_faults.Inject.driver ~n faults in
   let runtime = Bprc_faults.Inject.weaken_runtime (Sim.runtime sim) ~plan:faults in
   match algo with

@@ -64,6 +64,7 @@ type consensus_run = {
 }
 
 val consensus_once :
+  ?sim:Bprc_runtime.Sim.t ->
   ?params:Bprc_core.Params.t ->
   ?max_steps:int ->
   ?sched:sched ->
@@ -79,4 +80,11 @@ val consensus_once :
     is a declarative fault plan (crash/stall faults fire on the
     targeted process's own step count, [Weaken] faults downgrade
     registers — see {!Bprc_faults.Inject}).  Link faults in [faults]
-    are ignored here (shared-memory run). *)
+    are ignored here (shared-memory run).
+
+    [sim] reuses an existing simulator arena via [Sim.reset] instead of
+    allocating a fresh one; the run is bit-identical to the fresh path
+    (the explorer pins the analogous property for schedule replay).
+    The arena must have been created with the same [n] and a step bound
+    [>= max_steps]; the calling domain adopts ownership.
+    @raise Invalid_argument when the reused arena's shape mismatches. *)

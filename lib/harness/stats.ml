@@ -16,19 +16,25 @@ let ci95 xs =
   | [] | [ _ ] -> 0.0
   | _ -> 1.96 *. stddev xs /. sqrt (float_of_int (List.length xs))
 
+(* Linear-interpolation percentile over the sorted prefix [0, len) of
+   [a] — the single implementation behind both the list API below and
+   the streaming {!Ring}. *)
+let percentile_sorted a len p =
+  if len <= 0 then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  if len = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (len - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (len - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
 let percentile p xs =
   if xs = [] then invalid_arg "Stats.percentile: empty list";
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = List.sort compare xs |> Array.of_list in
-  let n = Array.length sorted in
-  if n = 1 then sorted.(0)
-  else begin
-    let rank = p /. 100.0 *. float_of_int (n - 1) in
-    let lo = int_of_float (floor rank) in
-    let hi = min (n - 1) (lo + 1) in
-    let frac = rank -. float_of_int lo in
-    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
-  end
+  percentile_sorted sorted (Array.length sorted) p
 
 let median xs = percentile 50.0 xs
 let minimum xs = List.fold_left min infinity xs
@@ -74,3 +80,66 @@ let loglog_slope pts =
       pts
   in
   linear_slope logged
+
+module Ring = struct
+  (* Both arrays are float arrays (flat, unboxed), preallocated at
+     [create]: [add] writes one cell and bumps counters, [percentile]
+     sorts a blit of the live samples into [scratch].  Queries are
+     cached until the next [add] so a burst of percentile reads (p50
+     then p99, as the service stats pipeline does) sorts once. *)
+  type t = {
+    samples : float array;  (* ring of the newest [stored] samples *)
+    scratch : float array;  (* sorted snapshot for percentile queries *)
+    mutable next : int;  (* write cursor into [samples] *)
+    mutable stored : int;  (* live samples, <= capacity *)
+    mutable total : int;  (* samples ever added *)
+    mutable dirty : bool;  (* [scratch] is stale *)
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Stats.Ring.create: capacity must be >= 1";
+    {
+      samples = Array.make capacity 0.0;
+      scratch = Array.make capacity 0.0;
+      next = 0;
+      stored = 0;
+      total = 0;
+      dirty = true;
+    }
+
+  let add t x =
+    t.samples.(t.next) <- x;
+    t.next <- (t.next + 1) mod Array.length t.samples;
+    if t.stored < Array.length t.samples then t.stored <- t.stored + 1;
+    t.total <- t.total + 1;
+    t.dirty <- true
+
+  let stored t = t.stored
+  let total t = t.total
+  let capacity t = Array.length t.samples
+
+  let clear t =
+    t.next <- 0;
+    t.stored <- 0;
+    t.total <- 0;
+    t.dirty <- true
+
+  let percentile t p =
+    if t.stored = 0 then nan
+    else begin
+      if t.dirty then begin
+        Array.blit t.samples 0 t.scratch 0 t.stored;
+        (* Pad the dead tail with +inf so a whole-array sort leaves the
+           live samples as the sorted prefix. *)
+        Array.fill t.scratch t.stored
+          (Array.length t.scratch - t.stored)
+          infinity;
+        Array.sort Float.compare t.scratch;
+        t.dirty <- false
+      end;
+      percentile_sorted t.scratch t.stored p
+    end
+
+  let p50 t = percentile t 50.0
+  let p99 t = percentile t 99.0
+end

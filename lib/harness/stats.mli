@@ -38,5 +38,47 @@ val loglog_slope : (float * float) list -> float
     polynomial degree of a power-law relation.  Points with
     non-positive coordinates are dropped. *)
 
+(** Streaming percentile estimation over a preallocated ring of the
+    newest samples.  {!Ring.add} is allocation-free (one float-array
+    store plus counter bumps), so long-lived pipelines — the service
+    engine's latency tracker, sustained-throughput benches — can feed
+    every sample without GC pressure; percentile queries sort a
+    preallocated scratch copy and share {!percentile}'s interpolation
+    rule, so a ring holding a whole sample agrees exactly with the
+    one-shot list API. *)
+module Ring : sig
+  type t
+
+  val create : capacity:int -> t
+  (** Ring keeping the newest [capacity] samples.
+      @raise Invalid_argument when [capacity < 1]. *)
+
+  val add : t -> float -> unit
+  (** Record one sample, evicting the oldest when full.  Allocation
+      free.  Do not feed [nan] (it has no order; percentiles over it
+      are meaningless). *)
+
+  val stored : t -> int
+  (** Live samples currently held, [<= capacity]. *)
+
+  val total : t -> int
+  (** Samples ever added, including evicted ones. *)
+
+  val capacity : t -> int
+
+  val clear : t -> unit
+  (** Forget all samples (counters included); the arrays are kept. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] over the stored samples, same interpolation as
+      {!Stats.percentile}; [nan] when empty.  Sorting happens lazily in
+      a preallocated scratch buffer and is cached until the next
+      {!add}, so reading several percentiles in a row sorts once.
+      @raise Invalid_argument when [p] is outside [0, 100]. *)
+
+  val p50 : t -> float
+  val p99 : t -> float
+end
+
 val linear_slope : (float * float) list -> float
 (** Ordinary least-squares slope. *)

@@ -418,6 +418,8 @@ let stall t pid ~steps =
 let crashed t pid = t.procs.(pid).status = st_crashed
 let finished t pid = t.procs.(pid).status = st_finished
 let clock t = t.clock
+let n t = t.n
+let max_steps t = t.max_steps
 let owner_domain t = t.owner
 let steps_of t pid = t.procs.(pid).steps
 let flips_of t pid = t.procs.(pid).flips

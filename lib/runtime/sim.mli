@@ -112,6 +112,13 @@ val finished : t -> int -> bool
 val clock : t -> int
 (** Global steps executed so far. *)
 
+val n : t -> int
+(** The process count this arena was created for ({!reset} keeps it).
+    Arena-pooling layers key reusable simulators on it. *)
+
+val max_steps : t -> int
+(** The step bound this arena was created with ({!reset} keeps it). *)
+
 val owner_domain : t -> int
 (** Id of the domain that currently owns the arena — the one that
     {!create}d or last {!reset} it.  Stealing an arena between domains

@@ -1,0 +1,35 @@
+type spec = {
+  n : int;
+  algo : Bprc_harness.Run.algo;
+  pattern : Bprc_harness.Run.pattern;
+  sched : Bprc_harness.Run.sched;
+  params : Bprc_core.Params.t;
+  faults : Bprc_faults.Fault_plan.t;
+  max_steps : int;
+}
+
+let spec ?(algo = Bprc_harness.Run.Ads Bprc_core.Ads89.Shared_walk)
+    ?(pattern = Bprc_harness.Run.Random_inputs)
+    ?(sched = Bprc_harness.Run.Random_sched)
+    ?(params = Bprc_core.Params.default) ?(faults = [])
+    ?(max_steps = 20_000_000) ~n () =
+  if n < 1 then invalid_arg "Workload.spec: n must be >= 1";
+  if max_steps < 1 then invalid_arg "Workload.spec: max_steps must be >= 1";
+  { n; algo; pattern; sched; params; faults; max_steps }
+
+let uniform ~count s = List.init (max 0 count) (fun _ -> s)
+
+let weighted ~rng ~count specs =
+  if specs = [] then invalid_arg "Workload.weighted: empty spec list";
+  if List.exists (fun (w, _) -> w <= 0) specs then
+    invalid_arg "Workload.weighted: weights must be positive";
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 specs in
+  let pick () =
+    let r = Bprc_rng.Splitmix.int rng total in
+    let rec go acc = function
+      | [] -> assert false
+      | (w, s) :: tl -> if r < acc + w then s else go (acc + w) tl
+    in
+    go 0 specs
+  in
+  List.init (max 0 count) (fun _ -> pick ())

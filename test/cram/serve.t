@@ -1,0 +1,80 @@
+The long-lived decision engine behind `serve-bench`.  The decisions
+digest is an MD5 over the pure per-instance fields (ticket, decisions,
+completion, steps, rounds, spec verdict) — no wall-clock data — so it
+is pinned here as a golden: any change to the engine's per-ticket
+seeding, dispatch order, or the underlying protocol shows up as a
+mismatch.  For the same reason it must be identical at every worker
+count and in both modes.
+
+  $ BPRC=../../bin/bprc_cli.exe
+
+Deterministic mode, one worker — the reference stream:
+
+  $ $BPRC serve-bench -n 3 --instances 50 --in-flight 16 --workers 1 \
+  >   --seed 9 --mode det
+  mode        : deterministic
+  workers     : 1
+  instance    : n=3 ADS89 (bounded shared coin), random scheduler
+  submitted   : 50  (backpressure refusals: 34)
+  decided     : 50  (violations: 0, incomplete: 0)
+  in-flight   : cap 16, high-water 16
+  rounds      : 1x1 20x2 29x3
+  digest      : bcfdce3abcd7e683d558ce3f4ed5b62c
+  $ echo $?
+  0
+
+Same workload at four workers: identical digest, identical counters.
+
+  $ $BPRC serve-bench -n 3 --instances 50 --in-flight 16 --workers 4 \
+  >   --seed 9 --mode det
+  mode        : deterministic
+  workers     : 4
+  instance    : n=3 ADS89 (bounded shared coin), random scheduler
+  submitted   : 50  (backpressure refusals: 34)
+  decided     : 50  (violations: 0, incomplete: 0)
+  in-flight   : cap 16, high-water 16
+  rounds      : 1x1 20x2 29x3
+  digest      : bcfdce3abcd7e683d558ce3f4ed5b62c
+
+Throughput mode computes the same decisions (same digest); only the
+timing lines differ, so mask them:
+
+  $ $BPRC serve-bench -n 3 --instances 50 --in-flight 16 --workers 1 \
+  >   --seed 9 --mode thr \
+  >   | sed -e 's/: [0-9.]* decisions.*/: MASKED/' -e 's/p50 .*/MASKED/'
+  mode        : throughput
+  workers     : 1
+  instance    : n=3 ADS89 (bounded shared coin), random scheduler
+  submitted   : 50  (backpressure refusals: 34)
+  decided     : 50  (violations: 0, incomplete: 0)
+  in-flight   : cap 16, high-water 16
+  throughput  : MASKED
+  latency     : MASKED
+  rounds      : 1x1 20x2 29x3
+  digest      : bcfdce3abcd7e683d558ce3f4ed5b62c
+
+The JSON report: timing fields masked, everything else pinned —
+including that deterministic mode reports its latency percentiles as
+null (no wall-clock data exists to aggregate).
+
+  $ $BPRC serve-bench -n 3 --instances 50 --in-flight 16 --workers 2 \
+  >   --seed 9 --mode det --json \
+  >   | sed -e 's/"wall_s":[0-9.e-]*/"wall_s":0/' \
+  >         -e 's/"busy_s":[0-9.e-]*/"busy_s":0/' \
+  >         -e 's/"decisions_per_sec":[0-9.e-]*/"decisions_per_sec":0/'
+  {"kind":"bprc-serve-report","version":1,"mode":"deterministic","workers":2,"n":3,"algo":"ADS89 (bounded shared coin)","sched":"random","seed":9,"instances":50,"in_flight_cap":16,"submitted":50,"overloaded":34,"decided":50,"delivered":50,"violations":0,"incomplete":0,"max_in_flight":16,"wall_s":0,"busy_s":0,"decisions_per_sec":0,"lat_p50_s":null,"lat_p99_s":null,"rounds_hist":[{"rounds":1,"count":1},{"rounds":2,"count":20},{"rounds":3,"count":29}],"decisions_digest":"bcfdce3abcd7e683d558ce3f4ed5b62c"}
+
+Bad numeric arguments are refused with exit 2; a malformed --mode is
+a cmdliner parse error, exit 124 like everywhere else in the CLI:
+
+  $ $BPRC serve-bench --instances 0
+  --instances expects a positive integer
+  [2]
+  $ $BPRC serve-bench --in-flight 0
+  --in-flight expects a positive integer
+  [2]
+  $ $BPRC serve-bench --mode sideways
+  bprc: option '--mode': unknown mode sideways
+  Usage: bprc serve-bench [OPTION]…
+  Try 'bprc serve-bench --help' or 'bprc --help' for more information.
+  [124]

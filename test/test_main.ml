@@ -15,4 +15,5 @@ let () =
       ("netsim", Test_netsim.suite);
       ("faults", Test_faults.suite);
       ("check", Test_check.suite);
+      ("service", Test_service.suite);
     ]
