@@ -145,7 +145,21 @@ let bench_esnap ~trials () =
 
 (* ---- end-to-end consensus decisions ----------------------------------- *)
 
-let bench_consensus ~trials () =
+let space_metrics r =
+  (* The measured register count must equal the analytic report's: a
+     protocol that allocated registers the report does not list (or
+     vice versa) has a dishonest space accounting. *)
+  let space = r.Run.space in
+  if r.Run.registers_used <> Bprc_space.Space.registers space then
+    failwith "space accounting mismatch: analytic report vs arena registers";
+  [
+    ("space_registers", float_of_int (Bprc_space.Space.registers space));
+    ( "space_max_register_bits",
+      float_of_int (Bprc_space.Space.max_register_bits space) );
+    ("space_total_bits", float_of_int (Bprc_space.Space.total_bits space));
+  ]
+
+let bench_consensus ~trials ~space () =
   let n = 4 in
   let runs = 12 * trials in
   let decisions = ref 0 in
@@ -160,9 +174,50 @@ let bench_consensus ~trials () =
     Array.iter
       (function Some _ -> incr decisions | None -> ())
       r.Run.decisions;
-    steps := !steps + r.Run.steps
+    steps := !steps + r.Run.steps;
+    space := space_metrics r
   done;
   (!decisions, Some (float_of_int !steps), 0.0)
+
+(* ---- large-n frontier -------------------------------------------------- *)
+
+(* One decision at n in the hundreds/thousands: the paper's protocol
+   over the wait-free embedded snapshot (handshake double-collects
+   starve at this scale) with the oracle round coin (the shared-walk
+   coin needs ~(2n)^2 flips at ~n steps each — a multi-minute run even
+   at n=64; the oracle isolates the strip/snapshot scaling, which is
+   what the steps- and space-vs-n curves measure).  One run per row:
+   the row exists to pin the curve, not to average noise away. *)
+let bench_large_n ~n ~space () =
+  let r =
+    Run.consensus_once ~max_steps:200_000_000
+      ~algo:(Run.Ads_esnap Bprc_core.Ads89.Oracle_shared)
+      ~pattern:Run.Random_inputs ~n ~seed:0x1A6 ()
+  in
+  if not r.Run.completed then failwith "large-n bench did not complete";
+  (match r.Run.spec with
+  | Ok () -> ()
+  | Error e -> failwith ("large-n bench spec violation: " ^ e));
+  space :=
+    space_metrics r
+    @ [
+        ("steps_to_decide", float_of_int r.Run.steps);
+        ("register_bits", float_of_int r.Run.register_bits);
+      ];
+  let decisions =
+    Array.fold_left
+      (fun acc d -> match d with Some _ -> acc + 1 | None -> acc)
+      0 r.Run.decisions
+  in
+  (decisions, Some (float_of_int r.Run.steps), 0.0)
+
+let measure_large_n ~n =
+  let space = ref [] in
+  measure
+    ~extra:(fun () -> !space)
+    ~bench:(Printf.sprintf "large-n%d" n)
+    ~unit_:"decision"
+    (bench_large_n ~n ~space)
 
 (* ---- bounded exhaustive exploration ----------------------------------- *)
 
@@ -330,6 +385,9 @@ let table ~trials samples =
         "service-nN rows drive the lib/service decision engine closed-loop \
          (in-flight window pinned at its cap of 1000) over a 2-worker pool; \
          their lat_p50_s/lat_p99_s metrics are submit-to-decide latency";
+        "large-nN rows are one ADS89-over-embedded-snapshot oracle-coin \
+         decision at scale; their space_* metrics are the shared-memory \
+         footprint (n=1024 behind --huge-n: a ~10 min run)";
       ]
     ~metrics:
       (List.concat_map
@@ -352,7 +410,9 @@ let parse_args args =
   and esnap_ceiling = ref None
   and esnap_obj_ceiling = ref None
   and par1_vs_seq = ref None
-  and par_scaling = ref None in
+  and par_scaling = ref None
+  and space_ceiling = ref None
+  and huge_n = ref false in
   let number what r v tl go =
     match float_of_string_opt v with
     | Some c when c >= 0.0 ->
@@ -389,11 +449,16 @@ let parse_args args =
       number "--assert-par1-vs-seq" par1_vs_seq v tl go
     | "--assert-par-scaling" :: v :: tl ->
       number "--assert-par-scaling" par_scaling v tl go
+    | "--assert-space-total-bits" :: v :: tl ->
+      number "--assert-space-total-bits" space_ceiling v tl go
+    | "--huge-n" :: tl ->
+      huge_n := true;
+      go tl
     | a :: _ -> usage_error (Printf.sprintf "unknown argument %s" a)
   in
   go args;
   ( !json, !trials, !baseline, !ceiling, !esnap_ceiling, !esnap_obj_ceiling,
-    !par1_vs_seq, !par_scaling )
+    !par1_vs_seq, !par_scaling, !space_ceiling, !huge_n )
 
 let read_baseline file =
   let ic = open_in file in
@@ -406,15 +471,19 @@ let read_baseline file =
 
 let () =
   let ( json, trials, baseline, ceiling, esnap_ceiling, esnap_obj_ceiling,
-        par1_vs_seq, par_scaling ) =
+        par1_vs_seq, par_scaling, space_ceiling, huge_n ) =
     parse_args (List.tl (Array.to_list Sys.argv))
   in
   let t0 = Unix.gettimeofday () in
+  let consensus_space = ref [] in
   let samples =
     [
       measure ~bench:"raw-sim" ~unit_:"step" (bench_raw_sim ~trials);
       measure ~bench:"esnap-scan" ~unit_:"write+scan" (bench_esnap ~trials);
-      measure ~bench:"consensus" ~unit_:"decision" (bench_consensus ~trials);
+      measure
+        ~extra:(fun () -> !consensus_space)
+        ~bench:"consensus" ~unit_:"decision"
+        (bench_consensus ~trials ~space:consensus_space);
       measure ~bench:"explorer" ~unit_:"run" (bench_explorer ~trials);
       measure ~bench:"explorer-seq" ~unit_:"run" (bench_explorer_seq ~trials);
       measure ~bench:"explorer-par1" ~unit_:"run"
@@ -426,7 +495,10 @@ let () =
       measure_service ~n:3 ~per_trial:250 ~trials;
       measure_service ~n:8 ~per_trial:125 ~trials;
       measure_service ~n:16 ~per_trial:125 ~trials;
+      measure_large_n ~n:64;
+      measure_large_n ~n:256;
     ]
+    @ (if huge_n then [ measure_large_n ~n:1024 ] else [])
   in
   (* The parallel explorer rows must agree on the work done: identical
      trees, identical run counts, only the rate may differ. *)
@@ -501,6 +573,25 @@ let () =
   in
   check_ceiling ~what:"esnap-scan object words/op" ~got:esnap_obj
     esnap_obj_ceiling;
+  (* The paper-config (handshake, n=4) shared-bits total: the flat
+     strip/handshake rewrite must not grow the bounded footprint. *)
+  (match space_ceiling with
+  | None -> ()
+  | Some c ->
+    let consensus = List.find (fun s -> s.bench = "consensus") samples in
+    let got =
+      try List.assoc "space_total_bits" consensus.extra_metrics
+      with Not_found -> failwith "consensus row lacks space_total_bits"
+    in
+    if got > c then begin
+      Printf.eprintf "space regression: consensus space_total_bits = %.0f \
+                      (ceiling %.0f)\n%!"
+        got c;
+      exit 1
+    end
+    else
+      Printf.printf "consensus space_total_bits: %.0f (ceiling %.0f) — ok\n%!"
+        got c);
   let rate name =
     ops_per_sec (List.find (fun s -> s.bench = name) samples)
   in

@@ -53,6 +53,10 @@ let algo_conv =
     | "ah" | "ah88" -> Ok Bprc_harness.Run.Ah
     | "local" -> Ok (Bprc_harness.Run.Ads Bprc_core.Ads89.Local_flips)
     | "oracle" -> Ok (Bprc_harness.Run.Ads Bprc_core.Ads89.Oracle_shared)
+    | "esnap" | "ads-esnap" ->
+      Ok (Bprc_harness.Run.Ads_esnap Bprc_core.Ads89.Shared_walk)
+    | "esnap-oracle" ->
+      Ok (Bprc_harness.Run.Ads_esnap Bprc_core.Ads89.Oracle_shared)
     | s -> Error (`Msg ("unknown algorithm " ^ s))
   in
   let print ppf a = Fmt.string ppf (Bprc_harness.Run.algo_name a) in
@@ -64,7 +68,9 @@ let algo_arg =
     & opt algo_conv (Bprc_harness.Run.Ads Bprc_core.Ads89.Shared_walk)
     & info [ "algo" ] ~docv:"ALGO"
         ~doc:"Algorithm: ads (the paper), ah (unbounded baseline), local \
-              (exponential baseline), oracle (perfect coin).")
+              (exponential baseline), oracle (perfect coin), esnap / \
+              esnap-oracle (the paper's protocol over the wait-free \
+              embedded snapshot — the large-n configuration).")
 
 let pattern_conv =
   let parse = function
@@ -115,6 +121,86 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one consensus instance in the simulator.")
     Term.(const action $ n_arg $ seed_arg $ algo_arg $ sched_arg $ pattern_arg)
+
+
+(* --- space-report ------------------------------------------------------ *)
+
+let space_report_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON (schema bprc-space-report v1).")
+  in
+  let action n algo json =
+    (* Instantiating the protocol allocates every shared register it
+       will ever use (the bound is the paper's headline), so the report
+       needs a simulator arena but not a single executed step; the
+       arena's register counter cross-checks the analytic report. *)
+    let adversary = Bprc_runtime.Adversary.random () in
+    let sim = Bprc_runtime.Sim.create ~seed:0 ~max_steps:1 ~n ~adversary () in
+    let params = Bprc_core.Params.default in
+    let algo_key, space, state_bits =
+      let module R = (val Bprc_runtime.Sim.runtime sim) in
+      match algo with
+      | Bprc_harness.Run.Ads _ ->
+        let module C = Bprc_core.Ads89.Make (R) in
+        let t = C.create ~params () in
+        ("ads", C.space t, Bprc_core.Params.state_bits params ~n)
+      | Bprc_harness.Run.Ads_esnap _ ->
+        let module E = Bprc_snapshot.Embedded.Make (R) in
+        let module C = Bprc_core.Ads89.Make_over_snapshot (R) (E) in
+        let t = C.create ~params () in
+        ("esnap", C.space t, Bprc_core.Params.state_bits params ~n)
+      | Bprc_harness.Run.Ah ->
+        let module C = Bprc_core.Ah88.Make (R) in
+        let t = C.create () in
+        (* the unbounded baseline's payload is its (initial) grown
+           maximum, not the static bound *)
+        ("ah", C.space t, C.max_register_bits t)
+    in
+    let module Space = Bprc_space.Space in
+    let registers_created = Bprc_runtime.Sim.registers_created sim in
+    let k, delta, m = Bprc_core.Params.validate params ~n in
+    if json then
+      let open Bprc_util.Json in
+      Fmt.pr "%s@."
+        (to_string
+           (Obj
+              [
+                ("schema", Str "bprc-space-report");
+                ("version", Int 1);
+                ("algo", Str algo_key);
+                ("n", Int n);
+                ( "params",
+                  Obj [ ("k", Int k); ("delta", Int delta); ("m", Int m) ] );
+                ("state_bits", Int state_bits);
+                ("space", Space.to_json space);
+                ("registers_created", Int registers_created);
+              ]))
+    else begin
+      Fmt.pr "algorithm : %s   n = %d   (k=%d delta=%d m=%d)@."
+        (Bprc_harness.Run.algo_name algo)
+        n k delta m;
+      Fmt.pr "payload   : %d bits of protocol state per segment@." state_bits;
+      Fmt.pr "%a@." Space.pp space;
+      Fmt.pr "arena     : %d registers created@." registers_created
+    end;
+    if registers_created <> Space.registers space then begin
+      Fmt.epr
+        "space-report: analytic report lists %d registers but the arena \
+         created %d@."
+        (Space.registers space) registers_created;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "space-report"
+       ~doc:
+         "Report the shared-memory footprint of a protocol instance: every \
+          register group with its width, the total shared bits, and the \
+          simulator cross-check that exactly those registers get created.  \
+          Exit codes: 0 report consistent, 1 analytic/measured mismatch.")
+    Term.(const action $ n_arg $ algo_arg $ json_arg)
 
 (* --- coin ------------------------------------------------------------- *)
 
@@ -1090,6 +1176,6 @@ let main =
           1989): simulator, baselines, experiment suite, and fault-injection \
           hunting.")
     [ run_cmd; coin_cmd; experiment_cmd; multi_cmd; trace_cmd; hunt_cmd;
-      replay_cmd; check_cmd; serve_bench_cmd ]
+      replay_cmd; check_cmd; serve_bench_cmd; space_report_cmd ]
 
 let () = exit (Cmd.eval main)

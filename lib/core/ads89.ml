@@ -271,6 +271,11 @@ struct
 
   let register_bits t = Params.register_bits t.params ~n:R.n
 
+  (* The [ghost] field is checker-only meta-state and excluded from the
+     space accounting ([state_bits] counts pref + pointer + coins +
+     edges only); the snapshot layer adds its own control bits. *)
+  let space t = Snap.space ~value_bits:(Params.state_bits t.params ~n:R.n) t.mem
+
   let coin_probe t =
     {
       Coin_probe.rounds = Array.copy t.raw_round;

@@ -145,6 +145,11 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     let counter_bits = 1 + bits_for (Atomic.get t.max_counter_mag + 1) in
     2 (* pref *) + bits_for (rounds + 1) + (rounds * counter_bits)
 
+  (* Unbounded-strip baseline: the payload width is the grown maximum
+     observed so far, so unlike [Ads89] this report is execution-
+     dependent (the point of experiment E6). *)
+  let space t = Snap.space ~value_bits:(max_register_bits t) t.mem
+
   let total_walk_steps t = Atomic.get t.walk_count
 
   let coin_probe t =

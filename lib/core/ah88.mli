@@ -27,6 +27,10 @@ module Make (R : Bprc_runtime.Runtime_intf.S) : sig
   (** Size in bits that the largest segment value reached — grows with
       {!max_round}, unlike the paper's protocol. *)
 
+  val space : t -> Bprc_space.Space.t
+  (** Space report at the {e current} grown maximum — unlike
+      {!Ads89.Make_over_snapshot}'s, this one is execution-dependent. *)
+
   val total_walk_steps : t -> int
 
   val coin_probe : t -> Coin_probe.t

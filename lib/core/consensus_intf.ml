@@ -39,6 +39,11 @@ module type S = sig
   (** Bound on one segment's size in bits (constant over any execution
       — the paper's headline). *)
 
+  val space : t -> Bprc_space.Space.t
+  (** Full shared-memory space report: the underlying scannable
+      memory's register groups with this protocol's per-segment payload
+      as the value width.  Checker-side ghost fields are excluded. *)
+
   val coin_probe : t -> Coin_probe.t
   (** Meta-level view of the per-round coin counters, for the
       full-information adaptive adversaries of the harness. *)

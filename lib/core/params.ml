@@ -18,11 +18,14 @@ let bits_for x =
   let rec go acc v = if v >= x then acc else go (acc + 1) (v * 2) in
   go 0 1
 
-let register_bits t ~n =
+let state_bits t ~n =
   let k, _, m = validate t ~n in
   let pref = 2 (* {⊥, 0, 1} *) in
   let pointer = bits_for (k + 1) in
   let coins = (k + 1) * bits_for ((2 * (m + 1)) + 1) in
   let edges = n * bits_for (3 * k) in
+  pref + pointer + coins + edges
+
+let register_bits t ~n =
   let toggle = 1 in
-  pref + pointer + coins + edges + toggle
+  state_bits t ~n + toggle

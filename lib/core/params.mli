@@ -18,6 +18,13 @@ val validate : t -> n:int -> int * int * int
 (** [(k, delta, m)] with [m] resolved.  @raise Invalid_argument on
     nonsensical values. *)
 
+val state_bits : t -> n:int -> int
+(** Size in bits of one process's protocol state (preference, coin
+    pointer, [K+1] coin counters, [n] edge counters) — the payload one
+    scannable-memory segment must carry, excluding any snapshot control
+    bits.  Feed to {!Bprc_snapshot.Snapshot_intf.S.space} as
+    [value_bits]. *)
+
 val register_bits : t -> n:int -> int
 (** Size in bits of one process's register under these parameters —
     the quantity the paper bounds.  Includes the preference, coin

@@ -131,12 +131,18 @@ let coin_once ?(delta = 2) ?m ?(sched = Random_sched) ?(max_steps = 10_000_000)
 
 (* ------------------------------------------------------------------ *)
 
-type algo = Ads of Bprc_core.Ads89.coin_mode | Ah
+type algo =
+  | Ads of Bprc_core.Ads89.coin_mode
+  | Ads_esnap of Bprc_core.Ads89.coin_mode
+  | Ah
 
 let algo_name = function
   | Ads Bprc_core.Ads89.Shared_walk -> "ADS89 (bounded shared coin)"
   | Ads Bprc_core.Ads89.Local_flips -> "local-coin (Abrahamson-class)"
   | Ads Bprc_core.Ads89.Oracle_shared -> "oracle coin (CIL-style)"
+  | Ads_esnap Bprc_core.Ads89.Shared_walk -> "ADS89/esnap (bounded shared coin)"
+  | Ads_esnap Bprc_core.Ads89.Local_flips -> "ADS89/esnap (local coin)"
+  | Ads_esnap Bprc_core.Ads89.Oracle_shared -> "ADS89/esnap (oracle coin)"
   | Ah -> "AH88-style (unbounded strip)"
 
 type pattern = Unanimous of bool | Split | Random_inputs
@@ -157,6 +163,8 @@ type consensus_run = {
   register_bits : int;
   walk_steps : int;
   spec : (unit, string) result;
+  space : Bprc_space.Space.t;
+  registers_used : int;
 }
 
 let drive sim ~max_steps ~crash_at ~fault_driver =
@@ -220,9 +228,7 @@ let consensus_once ?sim:reuse ?(params = Bprc_core.Params.default)
   in
   let fault_driver = Bprc_faults.Inject.driver ~n faults in
   let runtime = Bprc_faults.Inject.weaken_runtime (Sim.runtime sim) ~plan:faults in
-  match algo with
-  | Ads mode ->
-    let module C = Bprc_core.Ads89.Make ((val runtime)) in
+  let run_ads (module C : Bprc_core.Consensus_intf.S) mode =
     let t = C.create ~params ~coin_mode:mode ~oracle_seed:seed () in
     slot := probe_adversary ~n ~sched ~probe:(fun () -> C.coin_probe t);
     let handles =
@@ -240,7 +246,22 @@ let consensus_once ?sim:reuse ?(params = Bprc_core.Params.default)
       register_bits = C.register_bits t;
       walk_steps = st.Bprc_core.Ads89.walk_steps;
       spec = Bprc_core.Spec.check ~inputs ~decisions;
+      space = C.space t;
+      registers_used = Sim.registers_created sim;
     }
+  in
+  match algo with
+  | Ads mode -> run_ads (module Bprc_core.Ads89.Make ((val runtime))) mode
+  | Ads_esnap mode ->
+    (* The paper's protocol over the wait-free embedded snapshot: at
+       large [n] the handshake's clean double-collect window shrinks
+       like e^{-n} under ongoing writes, so the large-n bench family
+       runs over [Embedded], whose scans borrow instead of starving
+       (liveness caveat: DESIGN.md note 8 — in practice the borrowed
+       views are current enough to decide at every n exercised). *)
+    let module R = (val runtime) in
+    let module E = Bprc_snapshot.Embedded.Make (R) in
+    run_ads (module Bprc_core.Ads89.Make_over_snapshot (R) (E)) mode
   | Ah ->
     let module C = Bprc_core.Ah88.Make ((val runtime)) in
     let t = C.create ~k:params.Bprc_core.Params.k ~delta:params.Bprc_core.Params.delta () in
@@ -259,4 +280,6 @@ let consensus_once ?sim:reuse ?(params = Bprc_core.Params.default)
       register_bits = C.max_register_bits t;
       walk_steps = C.total_walk_steps t;
       spec = Bprc_core.Spec.check ~inputs ~decisions;
+      space = C.space t;
+      registers_used = Sim.registers_created sim;
     }

@@ -44,6 +44,12 @@ val coin_once :
 
 type algo =
   | Ads of Bprc_core.Ads89.coin_mode  (** the paper's protocol (§5) *)
+  | Ads_esnap of Bprc_core.Ads89.coin_mode
+      (** the protocol over the wait-free {!Bprc_snapshot.Embedded}
+          snapshot — the large-n configuration: handshake scans starve
+          once ~n writes land in any double-collect window, embedded
+          scans borrow instead (at the cost of unbounded sequence
+          numbers, visible in the space report) *)
   | Ah  (** unbounded-strip baseline *)
 
 val algo_name : algo -> string
@@ -61,6 +67,12 @@ type consensus_run = {
       (** [Ads]: the static bound; [Ah]: the grown maximum *)
   walk_steps : int;
   spec : (unit, string) result;
+  space : Bprc_space.Space.t;
+      (** shared-memory space report of the protocol instance *)
+  registers_used : int;
+      (** registers actually allocated in the simulator arena
+          ({!Bprc_runtime.Sim.registers_created}) — equals
+          [Space.registers space] when the report is honest *)
 }
 
 val consensus_once :

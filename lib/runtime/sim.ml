@@ -419,6 +419,7 @@ let crashed t pid = t.procs.(pid).status = st_crashed
 let finished t pid = t.procs.(pid).status = st_finished
 let clock t = t.clock
 let n t = t.n
+let registers_created t = t.next_reg_id
 let max_steps t = t.max_steps
 let owner_domain t = t.owner
 let steps_of t pid = t.procs.(pid).steps

@@ -119,6 +119,12 @@ val n : t -> int
 val max_steps : t -> int
 (** The step bound this arena was created with ({!reset} keeps it). *)
 
+val registers_created : t -> int
+(** Shared registers allocated through {!module-type-Runtime_intf.S.make_reg} since
+    creation (or the last {!reset}) — the measured side of the space
+    accounting: a protocol whose space report is honest creates exactly
+    this many registers and never more mid-run. *)
+
 val owner_domain : t -> int
 (** Id of the domain that currently owns the arena — the one that
     {!create}d or last {!reset} it.  Stealing an arena between domains

@@ -144,4 +144,13 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
   let scan_retries t = t.retries
   let borrows t = t.borrow_count
   let max_seq t = Array.fold_left max 0 t.my_seq
+
+  let space ~value_bits _t =
+    (* One register per process holding (value, seq, embedded n-view);
+       the sequence number is unbounded — accounted at the machine
+       word's 63 bits. *)
+    [
+      Bprc_space.Space.entry ~group:"cells" ~registers:R.n
+        ~bits_per_register:(value_bits + 63 + (R.n * value_bits));
+    ]
 end

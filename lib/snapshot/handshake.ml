@@ -1,28 +1,41 @@
+(* Flat representation of the §2.2 handshake object: the n x n arrow
+   matrix is one [bool R.reg array] indexed [i*n + j], and the two
+   collects of a scan land in preallocated per-scanner cell buffers
+   (the [Embedded] rewrite's recipe) instead of fresh option arrays per
+   attempt — a retry allocates nothing.  Register creation order, names
+   and the read/write order per operation are exactly those of the
+   pre-rewrite implementation ([Handshake_ref]): the simulated
+   schedules, and so every pinned trace digest, are bit-identical. *)
+
 module Make (R : Bprc_runtime.Runtime_intf.S) = struct
   type 'a cell = { value : 'a; toggle : bool }
 
   type 'a t = {
     values : 'a cell R.reg array;  (** [values.(j)] written by process j *)
-    arrows : bool R.reg array array;
-        (** [arrows.(i).(j)]: cleared by scanner i, set by writer j *)
+    arrows : bool R.reg array;
+        (** [arrows.(i*n + j)]: cleared by scanner i, set by writer j *)
     my_value : 'a array;  (** writer-local copy of own latest value *)
     my_toggle : bool array;  (** writer-local toggle state *)
+    v1 : 'a cell array array;  (** per-scanner first-collect buffers *)
+    v2 : 'a cell array array;  (** per-scanner second-collect buffers *)
     mutable retries : int;
   }
 
   let create ?(name = "snap") ~init () =
+    let cell0 = { value = init; toggle = false } in
     {
       values =
         Array.init R.n (fun j ->
-            R.make_reg
-              ~name:(Printf.sprintf "%s.V%d" name j)
-              { value = init; toggle = false });
+            R.make_reg ~name:(Printf.sprintf "%s.V%d" name j) cell0);
       arrows =
-        Array.init R.n (fun i ->
-            Array.init R.n (fun j ->
-                R.make_reg ~name:(Printf.sprintf "%s.A%d.%d" name i j) false));
+        Array.init (R.n * R.n) (fun idx ->
+            R.make_reg
+              ~name:(Printf.sprintf "%s.A%d.%d" name (idx / R.n) (idx mod R.n))
+              false);
       my_value = Array.make R.n init;
       my_toggle = Array.make R.n false;
+      v1 = Array.init R.n (fun _ -> Array.make R.n cell0);
+      v2 = Array.init R.n (fun _ -> Array.make R.n cell0);
       retries = 0;
     }
 
@@ -31,7 +44,7 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     (* Raise every scanner's arrow before publishing: a scan that
        started earlier and has not yet checked arrows will restart. *)
     for i = 0 to R.n - 1 do
-      if i <> me then R.write t.arrows.(i).(me) true
+      if i <> me then R.write t.arrows.((i * R.n) + me) true
     done;
     let toggle = not t.my_toggle.(me) in
     t.my_toggle.(me) <- toggle;
@@ -41,26 +54,23 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
   let scan t =
     let me = R.pid () in
     let n = R.n in
-    let v1 = Array.make n None in
-    let v2 = Array.make n None in
+    let v1 = t.v1.(me) and v2 = t.v2.(me) in
     let rec attempt () =
       for j = 0 to n - 1 do
-        if j <> me then R.write t.arrows.(me).(j) false
+        if j <> me then R.write t.arrows.((me * n) + j) false
       done;
       for j = 0 to n - 1 do
-        if j <> me then v1.(j) <- Some (R.read t.values.(j))
+        if j <> me then v1.(j) <- R.read t.values.(j)
       done;
       for j = 0 to n - 1 do
-        if j <> me then v2.(j) <- Some (R.read t.values.(j))
+        if j <> me then v2.(j) <- R.read t.values.(j)
       done;
       let dirty = ref false in
       for j = 0 to n - 1 do
         if j <> me then begin
-          if R.read t.arrows.(me).(j) then dirty := true;
-          match (v1.(j), v2.(j)) with
-          | Some a, Some b ->
-            if a.toggle <> b.toggle || a.value <> b.value then dirty := true
-          | _ -> assert false
+          if R.read t.arrows.((me * n) + j) then dirty := true;
+          let a = v1.(j) and b = v2.(j) in
+          if a.toggle <> b.toggle || a.value <> b.value then dirty := true
         end
       done;
       if !dirty then begin
@@ -69,10 +79,17 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
       end
       else
         Array.init n (fun j ->
-            if j = me then t.my_value.(me)
-            else match v2.(j) with Some c -> c.value | None -> assert false)
+            if j = me then t.my_value.(me) else v2.(j).value)
     in
     attempt ()
 
   let scan_retries t = t.retries
+
+  let space ~value_bits _t =
+    let open Bprc_space in
+    [
+      Space.entry ~group:"values" ~registers:R.n
+        ~bits_per_register:(value_bits + 1);
+      Space.entry ~group:"arrows" ~registers:(R.n * R.n) ~bits_per_register:1;
+    ]
 end

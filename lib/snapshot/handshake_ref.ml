@@ -1,0 +1,86 @@
+module Make (R : Bprc_runtime.Runtime_intf.S) = struct
+  type 'a cell = { value : 'a; toggle : bool }
+
+  type 'a t = {
+    values : 'a cell R.reg array;  (** [values.(j)] written by process j *)
+    arrows : bool R.reg array array;
+        (** [arrows.(i).(j)]: cleared by scanner i, set by writer j *)
+    my_value : 'a array;  (** writer-local copy of own latest value *)
+    my_toggle : bool array;  (** writer-local toggle state *)
+    mutable retries : int;
+  }
+
+  let create ?(name = "snap") ~init () =
+    {
+      values =
+        Array.init R.n (fun j ->
+            R.make_reg
+              ~name:(Printf.sprintf "%s.V%d" name j)
+              { value = init; toggle = false });
+      arrows =
+        Array.init R.n (fun i ->
+            Array.init R.n (fun j ->
+                R.make_reg ~name:(Printf.sprintf "%s.A%d.%d" name i j) false));
+      my_value = Array.make R.n init;
+      my_toggle = Array.make R.n false;
+      retries = 0;
+    }
+
+  let write t v =
+    let me = R.pid () in
+    (* Raise every scanner's arrow before publishing: a scan that
+       started earlier and has not yet checked arrows will restart. *)
+    for i = 0 to R.n - 1 do
+      if i <> me then R.write t.arrows.(i).(me) true
+    done;
+    let toggle = not t.my_toggle.(me) in
+    t.my_toggle.(me) <- toggle;
+    t.my_value.(me) <- v;
+    R.write t.values.(me) { value = v; toggle }
+
+  let scan t =
+    let me = R.pid () in
+    let n = R.n in
+    let v1 = Array.make n None in
+    let v2 = Array.make n None in
+    let rec attempt () =
+      for j = 0 to n - 1 do
+        if j <> me then R.write t.arrows.(me).(j) false
+      done;
+      for j = 0 to n - 1 do
+        if j <> me then v1.(j) <- Some (R.read t.values.(j))
+      done;
+      for j = 0 to n - 1 do
+        if j <> me then v2.(j) <- Some (R.read t.values.(j))
+      done;
+      let dirty = ref false in
+      for j = 0 to n - 1 do
+        if j <> me then begin
+          if R.read t.arrows.(me).(j) then dirty := true;
+          match (v1.(j), v2.(j)) with
+          | Some a, Some b ->
+            if a.toggle <> b.toggle || a.value <> b.value then dirty := true
+          | _ -> assert false
+        end
+      done;
+      if !dirty then begin
+        t.retries <- t.retries + 1;
+        attempt ()
+      end
+      else
+        Array.init n (fun j ->
+            if j = me then t.my_value.(me)
+            else match v2.(j) with Some c -> c.value | None -> assert false)
+    in
+    attempt ()
+
+  let scan_retries t = t.retries
+
+  let space ~value_bits _t =
+    let open Bprc_space in
+    [
+      Space.entry ~group:"values" ~registers:R.n
+        ~bits_per_register:(value_bits + 1);
+      Space.entry ~group:"arrows" ~registers:(R.n * R.n) ~bits_per_register:1;
+    ]
+end

@@ -1,0 +1,5 @@
+(** Frozen reference copy of the pre-flat-rewrite handshake snapshot
+    (§2.2), kept verbatim for the differential lockstep tests of the
+    flat {!Handshake}.  Not used on any production path. *)
+
+module Make (_ : Bprc_runtime.Runtime_intf.S) : Snapshot_intf.S

@@ -34,4 +34,13 @@ module type S = sig
   val scan_retries : 'a t -> int
   (** Cumulative number of scan restarts over the object's lifetime
       (contention probe for experiment E7). *)
+
+  val space : value_bits:int -> 'a t -> Bprc_space.Space.t
+  (** Shared-memory footprint of this object given that one segment
+      value occupies [value_bits] bits: every register group the
+      implementation allocates, with per-register widths including the
+      implementation's own control state (toggle bits, arrow matrix,
+      sequence numbers at the machine-word 63 bits when unbounded).
+      Constant over the object's lifetime for the bounded
+      implementations. *)
 end

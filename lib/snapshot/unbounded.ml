@@ -52,4 +52,12 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
   let scan_retries t = t.retries
 
   let max_seq t = Array.fold_left max 0 t.my_seq
+
+  let space ~value_bits _t =
+    (* (value, seq) per process; the sequence number is unbounded —
+       accounted at the machine word's 63 bits. *)
+    [
+      Bprc_space.Space.entry ~group:"values" ~registers:R.n
+        ~bits_per_register:(value_bits + 63);
+    ]
 end

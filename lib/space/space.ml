@@ -1,0 +1,49 @@
+type entry = { group : string; registers : int; bits_per_register : int }
+type t = entry list
+
+let entry ~group ~registers ~bits_per_register =
+  if registers < 0 then invalid_arg "Space.entry: negative registers";
+  if bits_per_register < 0 then
+    invalid_arg "Space.entry: negative bits_per_register";
+  { group; registers; bits_per_register }
+
+let scale ~registers t =
+  List.map (fun e -> { e with registers = e.registers * registers }) t
+
+let prefix p t = List.map (fun e -> { e with group = p ^ "." ^ e.group }) t
+let registers t = List.fold_left (fun acc e -> acc + e.registers) 0 t
+
+let max_register_bits t =
+  List.fold_left (fun acc e -> max acc e.bits_per_register) 0 t
+
+let total_bits t =
+  List.fold_left (fun acc e -> acc + (e.registers * e.bits_per_register)) 0 t
+
+let to_json t =
+  let open Bprc_util.Json in
+  let group e =
+    Obj
+      [
+        ("group", Str e.group);
+        ("registers", Int e.registers);
+        ("bits_per_register", Int e.bits_per_register);
+        ("bits", Int (e.registers * e.bits_per_register));
+      ]
+  in
+  Obj
+    [
+      ("groups", Arr (List.map group t));
+      ("registers", Int (registers t));
+      ("max_register_bits", Int (max_register_bits t));
+      ("total_bits", Int (total_bits t));
+    ]
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "%-28s %6d reg x %5d bits = %8d bits@." e.group e.registers
+        e.bits_per_register
+        (e.registers * e.bits_per_register))
+    t;
+  Fmt.pf ppf "%-28s %6d reg, max %3d bits, %8d bits total" "TOTAL"
+    (registers t) (max_register_bits t) (total_bits t)

@@ -1,37 +1,119 @@
+(* Flat representation: one [nn*nn] int array indexed [i*nn + j], with
+   [absent] as the missing-edge sentinel — no per-pair options, no row
+   arrays.  On top of it sits a cached *position reconstruction*: a
+   graph that is exactly [of_positions ~k p] for some token positions
+   [p] (every reachable G(S) is, because positions and their
+   gap-compressed shrinking produce the same graph) answers [dist],
+   [on_max_path] and [leaders] from the positions in O(1)/O(n) instead
+   of the O(n^3)/O(n^4) relaxations — the difference between n=4 and
+   n=1024.  Graphs that decode from arbitrary [of_weights] data and do
+   not correspond to any positions (no such graph arises on the
+   protocol path) fall back to the original relaxation algorithms,
+   kept verbatim in [Distance_graph_ref] and mirrored here. *)
+
+let absent = min_int
+
+type positions =
+  | Unknown  (** reconstruction not attempted yet *)
+  | Inconsistent  (** no token positions produce this graph *)
+  | Pos of int array  (** [of_positions ~k pos] equals this graph *)
+
 type t = {
   nn : int;
   kk : int;
-  w : int option array array;  (** [w.(i).(j) = Some d] iff edge (i,j) *)
+  w : int array;  (** [w.(i*nn + j)]: edge weight, or [absent] *)
+  mutable pos : positions;
 }
 
 let n t = t.nn
 let k t = t.kk
+let unsafe_w t i j = Array.unsafe_get t.w ((i * t.nn) + j)
 
 let of_positions ~k pos =
   let nn = Array.length pos in
-  let w =
-    Array.init nn (fun i ->
-        Array.init nn (fun j ->
-            if i = j then None
-            else if pos.(i) >= pos.(j) then Some (min (pos.(i) - pos.(j)) k)
-            else None))
-  in
-  { nn; kk = k; w }
+  let w = Array.make (nn * nn) absent in
+  for i = 0 to nn - 1 do
+    for j = 0 to nn - 1 do
+      if i <> j && pos.(i) >= pos.(j) then
+        w.((i * nn) + j) <- min (pos.(i) - pos.(j)) k
+    done
+  done;
+  { nn; kk = k; w; pos = Unknown }
 
 let of_weights ~k ~present ~weight ~n =
-  let w =
-    Array.init n (fun i ->
-        Array.init n (fun j ->
-            if i <> j && present i j then Some (weight i j) else None))
-  in
-  { nn = n; kk = k; w }
+  let w = Array.make (n * n) absent in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && present i j then w.((i * n) + j) <- weight i j
+    done
+  done;
+  { nn = n; kk = k; w; pos = Unknown }
 
-let edge t i j = t.w.(i).(j) <> None
+let edge t i j = t.w.((i * t.nn) + j) <> absent
 
 let weight t i j =
-  match t.w.(i).(j) with
-  | Some d -> d
-  | None -> invalid_arg "Distance_graph.weight: no such edge"
+  let d = t.w.((i * t.nn) + j) in
+  if d = absent then invalid_arg "Distance_graph.weight: no such edge";
+  d
+
+(* --- position reconstruction ------------------------------------- *)
+
+(* Try to find positions [p] with [of_positions ~k p] structurally
+   equal to [t].  Rank each token by how many others it leads (a true
+   total preorder makes ranks consistent), lay the tokens out bottom-up
+   summing the adjacent capped gaps, then verify the candidate against
+   every pair — any graph that passes answers all max-path queries
+   positionally, any graph that fails keeps the relaxation fallback.
+   O(n^2), amortized over every query on the same graph. *)
+let reconstruct t =
+  let nn = t.nn in
+  let rank = Array.make nn 0 in
+  for i = 0 to nn - 1 do
+    for j = 0 to nn - 1 do
+      if i <> j && unsafe_w t i j <> absent then rank.(i) <- rank.(i) + 1
+    done
+  done;
+  let order = Array.init nn Fun.id in
+  Array.sort (fun a b -> compare rank.(a) rank.(b)) order;
+  let pos = Array.make nn 0 in
+  let ok = ref true in
+  for s = 1 to nn - 1 do
+    let cur = order.(s) and prev = order.(s - 1) in
+    if rank.(cur) = rank.(prev) then pos.(cur) <- pos.(prev)
+    else begin
+      let gap = unsafe_w t cur prev in
+      if gap = absent || gap < 0 || gap > t.kk then ok := false
+      else pos.(cur) <- pos.(prev) + gap
+    end
+  done;
+  if not !ok then Inconsistent
+  else begin
+    (* verify: [of_positions ~k pos] must reproduce [t] exactly *)
+    (try
+       for i = 0 to nn - 1 do
+         for j = 0 to nn - 1 do
+           if i <> j then begin
+             let expect =
+               if pos.(i) >= pos.(j) then min (pos.(i) - pos.(j)) t.kk
+               else absent
+             in
+             if unsafe_w t i j <> expect then raise Exit
+           end
+         done
+       done
+     with Exit -> ok := false);
+    if !ok then Pos pos else Inconsistent
+  end
+
+let positions t =
+  match t.pos with
+  | Unknown ->
+    let p = reconstruct t in
+    t.pos <- p;
+    p
+  | p -> p
+
+(* --- fallback: the original relaxation algorithms, verbatim ------- *)
 
 (* Longest-walk relaxation from source [i].  With no positive cycles,
    walks and simple paths have equal maxima and the values converge
@@ -43,32 +125,39 @@ let dist_from t i =
     for u = 0 to t.nn - 1 do
       if d.(u) > min_int then
         for v = 0 to t.nn - 1 do
-          match t.w.(u).(v) with
-          | Some duv -> if d.(u) + duv > d.(v) then d.(v) <- d.(u) + duv
-          | None -> ()
+          let duv = unsafe_w t u v in
+          if duv <> absent && d.(u) + duv > d.(v) then d.(v) <- d.(u) + duv
         done
     done
   done;
   d
 
 let dist t i j =
-  let d = (dist_from t i).(j) in
-  if d = min_int then None else Some d
+  match positions t with
+  | Pos p -> if p.(i) >= p.(j) then Some (p.(i) - p.(j)) else None
+  | Unknown | Inconsistent ->
+    let d = (dist_from t i).(j) in
+    if d = min_int then None else Some d
 
 let on_max_path t j i =
-  match t.w.(j).(i) with
-  | None -> false
-  | Some wji ->
-    (* (j,i) lies on a max path from some source k into i. *)
-    let rec try_src k =
-      if k >= t.nn then false
-      else begin
-        let d = dist_from t k in
-        (d.(j) > min_int && d.(i) > min_int && d.(j) + wji = d.(i))
-        || try_src (k + 1)
-      end
-    in
-    try_src 0
+  let wji = t.w.((j * t.nn) + i) in
+  if wji = absent then false
+  else
+    match positions t with
+    (* (j,i) is on a max path into i iff its weight is tight:
+       [weight j i = dist j i] — positionally, [p.(j) - p.(i)]. *)
+    | Pos p -> wji = p.(j) - p.(i)
+    | Unknown | Inconsistent ->
+      (* (j,i) lies on a max path from some source k into i. *)
+      let rec try_src k =
+        if k >= t.nn then false
+        else begin
+          let d = dist_from t k in
+          (d.(j) > min_int && d.(i) > min_int && d.(j) + wji = d.(i))
+          || try_src (k + 1)
+        end
+      in
+      try_src 0
 
 let leaders t =
   let is_leader i =
@@ -80,59 +169,70 @@ let leaders t =
   in
   List.filter is_leader (List.init t.nn Fun.id)
 
-let copy t = { t with w = Array.map Array.copy t.w }
+let copy t = { t with w = Array.copy t.w }
 
 let inc t i =
-  let g' = copy t in
-  for j = 0 to t.nn - 1 do
-    if j <> i then begin
-      (* Rule 1: tight edges into i lose one unit as i catches up. *)
-      (match t.w.(j).(i) with
-      | Some wji when on_max_path t j i -> g'.w.(j).(i) <- Some (wji - 1)
-      | _ -> ());
-      (* Rule 2: i pulls one further ahead of those it leads, capped. *)
-      match t.w.(i).(j) with
-      | Some wij when wij < t.kk -> g'.w.(i).(j) <- Some (wij + 1)
-      | _ -> ()
-    end
-  done;
-  (* Rule 3: flip edges that went negative; a decrement that reaches 0
-     means the tokens are now level, so the reverse 0-edge appears too
-     (Property 1: both directions present iff weight 0). *)
-  for j = 0 to t.nn - 1 do
-    if j <> i then
-      match g'.w.(j).(i) with
-      | Some wji when wji < 0 ->
-        g'.w.(j).(i) <- None;
-        g'.w.(i).(j) <- Some (-wji)
-      | Some 0 -> g'.w.(i).(j) <- Some 0
-      | _ -> ()
-  done;
-  g'
+  match positions t with
+  | Pos p ->
+    (* Rules 1-3 on a consistent graph are exactly "token [i] moves one
+       step" (the paper's G(inc(i,S)) = inc(i,G(S))): rebuild from the
+       moved positions.  The differential tests pin this against the
+       rule-by-rule reference. *)
+    let p' = Array.copy p in
+    p'.(i) <- p'.(i) + 1;
+    of_positions ~k:t.kk p'
+  | Unknown | Inconsistent ->
+    let g' = copy t in
+    let set j i v = g'.w.((j * t.nn) + i) <- v in
+    for j = 0 to t.nn - 1 do
+      if j <> i then begin
+        (* Rule 1: tight edges into i lose one unit as i catches up. *)
+        let wji = unsafe_w t j i in
+        if wji <> absent && on_max_path t j i then set j i (wji - 1);
+        (* Rule 2: i pulls one further ahead of those it leads, capped. *)
+        let wij = unsafe_w t i j in
+        if wij <> absent && wij < t.kk then set i j (wij + 1)
+      end
+    done;
+    (* Rule 3: flip edges that went negative; a decrement that reaches 0
+       means the tokens are now level, so the reverse 0-edge appears too
+       (Property 1: both directions present iff weight 0). *)
+    for j = 0 to t.nn - 1 do
+      if j <> i then begin
+        let wji = unsafe_w g' j i in
+        if wji <> absent && wji < 0 then begin
+          set j i absent;
+          set i j (-wji)
+        end
+        else if wji = 0 then set i j 0
+      end
+    done;
+    g'.pos <- Unknown;
+    g'
 
 let no_positive_cycle t =
-  (* After [n] relaxation rounds from every source, one more round must
-     yield no improvement. *)
-  let ok = ref true in
-  for i = 0 to t.nn - 1 do
-    let d = dist_from t i in
-    for u = 0 to t.nn - 1 do
-      if d.(u) > min_int then
-        for v = 0 to t.nn - 1 do
-          match t.w.(u).(v) with
-          | Some duv -> if d.(u) + duv > d.(v) then ok := false
-          | None -> ()
-        done
-    done
-  done;
-  !ok
+  match positions t with
+  | Pos _ -> true  (* position differences cannot sum positive on a cycle *)
+  | Unknown | Inconsistent ->
+    (* After [n] relaxation rounds from every source, one more round must
+       yield no improvement. *)
+    let ok = ref true in
+    for i = 0 to t.nn - 1 do
+      let d = dist_from t i in
+      for u = 0 to t.nn - 1 do
+        if d.(u) > min_int then
+          for v = 0 to t.nn - 1 do
+            let duv = unsafe_w t u v in
+            if duv <> absent && d.(u) + duv > d.(v) then ok := false
+          done
+      done
+    done;
+    !ok
 
 let weights_in_range t =
   let ok = ref true in
   Array.iter
-    (Array.iter (function
-      | Some d -> if d < 0 || d > t.kk then ok := false
-      | None -> ()))
+    (fun d -> if d <> absent && (d < 0 || d > t.kk) then ok := false)
     t.w;
   !ok
 
@@ -140,10 +240,9 @@ let total_order_consistent t =
   let ok = ref true in
   for i = 0 to t.nn - 1 do
     for j = i + 1 to t.nn - 1 do
-      match (t.w.(i).(j), t.w.(j).(i)) with
-      | None, None -> ok := false
-      | Some a, Some b -> if a <> 0 || b <> 0 then ok := false
-      | Some _, None | None, Some _ -> ()
+      let a = unsafe_w t i j and b = unsafe_w t j i in
+      if a = absent && b = absent then ok := false
+      else if a <> absent && b <> absent && (a <> 0 || b <> 0) then ok := false
     done
   done;
   !ok
@@ -154,9 +253,8 @@ let pp ppf t =
   Fmt.pf ppf "@[<v>";
   for i = 0 to t.nn - 1 do
     for j = 0 to t.nn - 1 do
-      match t.w.(i).(j) with
-      | Some d -> Fmt.pf ppf "%d->%d:%d " i j d
-      | None -> ()
+      let d = unsafe_w t i j in
+      if d <> absent then Fmt.pf ppf "%d->%d:%d " i j d
     done
   done;
   Fmt.pf ppf "@]"

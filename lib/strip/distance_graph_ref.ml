@@ -1,0 +1,162 @@
+type t = {
+  nn : int;
+  kk : int;
+  w : int option array array;  (** [w.(i).(j) = Some d] iff edge (i,j) *)
+}
+
+let n t = t.nn
+let k t = t.kk
+
+let of_positions ~k pos =
+  let nn = Array.length pos in
+  let w =
+    Array.init nn (fun i ->
+        Array.init nn (fun j ->
+            if i = j then None
+            else if pos.(i) >= pos.(j) then Some (min (pos.(i) - pos.(j)) k)
+            else None))
+  in
+  { nn; kk = k; w }
+
+let of_weights ~k ~present ~weight ~n =
+  let w =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i <> j && present i j then Some (weight i j) else None))
+  in
+  { nn = n; kk = k; w }
+
+let edge t i j = t.w.(i).(j) <> None
+
+let weight t i j =
+  match t.w.(i).(j) with
+  | Some d -> d
+  | None -> invalid_arg "Distance_graph_ref.weight: no such edge"
+
+(* Longest-walk relaxation from source [i].  With no positive cycles,
+   walks and simple paths have equal maxima and the values converge
+   within [n] rounds. *)
+let dist_from t i =
+  let d = Array.make t.nn min_int in
+  d.(i) <- 0;
+  for _ = 1 to t.nn do
+    for u = 0 to t.nn - 1 do
+      if d.(u) > min_int then
+        for v = 0 to t.nn - 1 do
+          match t.w.(u).(v) with
+          | Some duv -> if d.(u) + duv > d.(v) then d.(v) <- d.(u) + duv
+          | None -> ()
+        done
+    done
+  done;
+  d
+
+let dist t i j =
+  let d = (dist_from t i).(j) in
+  if d = min_int then None else Some d
+
+let on_max_path t j i =
+  match t.w.(j).(i) with
+  | None -> false
+  | Some wji ->
+    (* (j,i) lies on a max path from some source k into i. *)
+    let rec try_src k =
+      if k >= t.nn then false
+      else begin
+        let d = dist_from t k in
+        (d.(j) > min_int && d.(i) > min_int && d.(j) + wji = d.(i))
+        || try_src (k + 1)
+      end
+    in
+    try_src 0
+
+let leaders t =
+  let is_leader i =
+    let ok = ref true in
+    for j = 0 to t.nn - 1 do
+      if j <> i && not (edge t i j) then ok := false
+    done;
+    !ok
+  in
+  List.filter is_leader (List.init t.nn Fun.id)
+
+let copy t = { t with w = Array.map Array.copy t.w }
+
+let inc t i =
+  let g' = copy t in
+  for j = 0 to t.nn - 1 do
+    if j <> i then begin
+      (* Rule 1: tight edges into i lose one unit as i catches up. *)
+      (match t.w.(j).(i) with
+      | Some wji when on_max_path t j i -> g'.w.(j).(i) <- Some (wji - 1)
+      | _ -> ());
+      (* Rule 2: i pulls one further ahead of those it leads, capped. *)
+      match t.w.(i).(j) with
+      | Some wij when wij < t.kk -> g'.w.(i).(j) <- Some (wij + 1)
+      | _ -> ()
+    end
+  done;
+  (* Rule 3: flip edges that went negative; a decrement that reaches 0
+     means the tokens are now level, so the reverse 0-edge appears too
+     (Property 1: both directions present iff weight 0). *)
+  for j = 0 to t.nn - 1 do
+    if j <> i then
+      match g'.w.(j).(i) with
+      | Some wji when wji < 0 ->
+        g'.w.(j).(i) <- None;
+        g'.w.(i).(j) <- Some (-wji)
+      | Some 0 -> g'.w.(i).(j) <- Some 0
+      | _ -> ()
+  done;
+  g'
+
+let no_positive_cycle t =
+  (* After [n] relaxation rounds from every source, one more round must
+     yield no improvement. *)
+  let ok = ref true in
+  for i = 0 to t.nn - 1 do
+    let d = dist_from t i in
+    for u = 0 to t.nn - 1 do
+      if d.(u) > min_int then
+        for v = 0 to t.nn - 1 do
+          match t.w.(u).(v) with
+          | Some duv -> if d.(u) + duv > d.(v) then ok := false
+          | None -> ()
+        done
+    done
+  done;
+  !ok
+
+let weights_in_range t =
+  let ok = ref true in
+  Array.iter
+    (Array.iter (function
+      | Some d -> if d < 0 || d > t.kk then ok := false
+      | None -> ()))
+    t.w;
+  !ok
+
+let total_order_consistent t =
+  let ok = ref true in
+  for i = 0 to t.nn - 1 do
+    for j = i + 1 to t.nn - 1 do
+      match (t.w.(i).(j), t.w.(j).(i)) with
+      | None, None -> ok := false
+      | Some a, Some b -> if a <> 0 || b <> 0 then ok := false
+      | Some _, None | None, Some _ -> ()
+    done
+  done;
+  !ok
+
+let equal a b = a.nn = b.nn && a.kk = b.kk && a.w = b.w
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  for i = 0 to t.nn - 1 do
+    for j = 0 to t.nn - 1 do
+      match t.w.(i).(j) with
+      | Some d -> Fmt.pf ppf "%d->%d:%d " i j d
+      | None -> ()
+    done
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,63 @@
+(** Frozen reference implementation (pre-flat-rewrite), kept verbatim
+    for the differential property tests of the flat module.  Not used
+    on any production path. *)
+
+(** The distance graph G(S) of a token-game state (§4.2).
+
+    A directed weighted graph on the [n] tokens: edge [(i,j)] whenever
+    [r_i ≥ r_j], with weight [min(r_i - r_j, K)].  The graph is what the
+    edge counters of {!Edge_counters} encode; the paper's properties
+
+    + for any pair at least one direction is present, both iff weight 0;
+    + no positive-weight cycle;
+    + path weights lie in [[0 .. K·n]];
+    + any two max-weight paths between the same endpoints agree unless a
+      saturated ([= K]) edge intervenes;
+    + [dist i j] (the max path weight) equals [r_i - r_j] for max paths
+
+    are all checkable through this module and are exercised as property
+    tests. *)
+
+type t
+
+val of_positions : k:int -> int array -> t
+(** Build G(S) from token positions. *)
+
+val of_weights : k:int -> present:(int -> int -> bool) -> weight:(int -> int -> int) -> n:int -> t
+(** Build from arbitrary decoded edge data (used by {!Edge_counters});
+    no structural validation beyond storing. *)
+
+val n : t -> int
+val k : t -> int
+val edge : t -> int -> int -> bool
+val weight : t -> int -> int -> int
+(** Defined only when [edge t i j]; @raise Invalid_argument otherwise. *)
+
+val dist : t -> int -> int -> int option
+(** Maximum weight over simple paths from [i] to [j]; [None] when [j]
+    is unreachable from [i].  Computed by condensing weight-0 strongly
+    connected components and longest-path DP over the resulting DAG
+    (sound because valid graphs have no positive cycles). *)
+
+val on_max_path : t -> int -> int -> bool
+(** [on_max_path t j i]: does edge [(j,i)] lie on some maximum-weight
+    path into [i] — equivalently, is its weight {e tight}
+    ([weight j i = dist j i])?  This is the paper's
+    [(∃k)((j,i) ∈ max_paths(k,i))] guard in [inc]. *)
+
+val leaders : t -> int list
+(** Processes [i] with an edge to every other process (the maximal
+    tokens). *)
+
+val inc : t -> int -> t
+(** The paper's abstract [inc(i, G)] transformation: token [i] moved
+    one step, tight incoming edges decremented, outgoing weights
+    incremented up to the cap [K], negative edges flipped. *)
+
+val no_positive_cycle : t -> bool
+val weights_in_range : t -> bool
+val total_order_consistent : t -> bool
+(** Property 1: every pair has at least one direction, both iff 0. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

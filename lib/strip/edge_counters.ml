@@ -1,8 +1,14 @@
-type t = { kk : int; e : int array array }
+(* Flat representation: the n x n mod-3K counter matrix lives in one
+   [int array] indexed [i*n + j] (row-major, so a process's own row —
+   the only part it writes — is one contiguous slice).  The observable
+   behavior is pinned against the pre-rewrite [Edge_counters_ref] by
+   the differential property tests. *)
+
+type t = { kk : int; nn : int; e : int array }
 
 let create ~k ~n =
   if k <= 0 || n <= 0 then invalid_arg "Edge_counters.create";
-  { kk = k; e = Array.make_matrix n n 0 }
+  { kk = k; nn = n; e = Array.make (n * n) 0 }
 
 let of_rows ~k rows =
   let n = Array.length rows in
@@ -15,22 +21,23 @@ let of_rows ~k rows =
             invalid_arg "Edge_counters.of_rows: counter out of range")
         r)
     rows;
-  { kk = k; e = Array.map Array.copy rows }
+  let e = Array.make (n * n) 0 in
+  Array.iteri (fun i r -> Array.blit r 0 e (i * n) n) rows;
+  { kk = k; nn = n; e }
 
 let k t = t.kk
-let n t = Array.length t.e
-let row t i = Array.copy t.e.(i)
-let rows t = Array.map Array.copy t.e
+let n t = t.nn
+let row t i = Array.sub t.e (i * t.nn) t.nn
+let rows t = Array.init t.nn (fun i -> row t i)
 
 let decode_pair t i j =
   let m = 3 * t.kk in
-  ((t.e.(i).(j) - t.e.(j).(i)) mod m + m) mod m
+  ((t.e.((i * t.nn) + j) - t.e.((j * t.nn) + i)) mod m + m) mod m
 
 let valid t =
-  let nn = n t in
   let ok = ref true in
-  for i = 0 to nn - 1 do
-    for j = i + 1 to nn - 1 do
+  for i = 0 to t.nn - 1 do
+    for j = i + 1 to t.nn - 1 do
       let a = decode_pair t i j in
       if a > t.kk && a < 2 * t.kk then ok := false
     done
@@ -39,7 +46,6 @@ let valid t =
 
 let to_graph t =
   if not (valid t) then invalid_arg "Edge_counters.to_graph: undecodable state";
-  let nn = n t in
   let present i j =
     let a = decode_pair t i j in
     a <= t.kk
@@ -48,13 +54,12 @@ let to_graph t =
     let a = decode_pair t i j in
     if a <= t.kk then a else 3 * t.kk - a
   in
-  Distance_graph.of_weights ~k:t.kk ~present ~weight ~n:nn
+  Distance_graph.of_weights ~k:t.kk ~present ~weight ~n:t.nn
 
 let inc_row t i =
   let g = to_graph t in
-  let nn = n t in
-  let fresh = Array.copy t.e.(i) in
-  for j = 0 to nn - 1 do
+  let fresh = row t i in
+  for j = 0 to t.nn - 1 do
     if j <> i then begin
       let advance =
         (Distance_graph.edge g j i && Distance_graph.on_max_path g j i)
@@ -65,4 +70,4 @@ let inc_row t i =
   done;
   fresh
 
-let apply_inc t i = t.e.(i) <- inc_row t i
+let apply_inc t i = Array.blit (inc_row t i) 0 t.e (i * t.nn) t.nn

@@ -1,0 +1,68 @@
+type t = { kk : int; e : int array array }
+
+let create ~k ~n =
+  if k <= 0 || n <= 0 then invalid_arg "Edge_counters_ref.create";
+  { kk = k; e = Array.make_matrix n n 0 }
+
+let of_rows ~k rows =
+  let n = Array.length rows in
+  Array.iter
+    (fun r ->
+      if Array.length r <> n then invalid_arg "Edge_counters_ref.of_rows: not square";
+      Array.iter
+        (fun x ->
+          if x < 0 || x >= 3 * k then
+            invalid_arg "Edge_counters_ref.of_rows: counter out of range")
+        r)
+    rows;
+  { kk = k; e = Array.map Array.copy rows }
+
+let k t = t.kk
+let n t = Array.length t.e
+let row t i = Array.copy t.e.(i)
+let rows t = Array.map Array.copy t.e
+
+let decode_pair t i j =
+  let m = 3 * t.kk in
+  ((t.e.(i).(j) - t.e.(j).(i)) mod m + m) mod m
+
+let valid t =
+  let nn = n t in
+  let ok = ref true in
+  for i = 0 to nn - 1 do
+    for j = i + 1 to nn - 1 do
+      let a = decode_pair t i j in
+      if a > t.kk && a < 2 * t.kk then ok := false
+    done
+  done;
+  !ok
+
+let to_graph t =
+  if not (valid t) then invalid_arg "Edge_counters_ref.to_graph: undecodable state";
+  let nn = n t in
+  let present i j =
+    let a = decode_pair t i j in
+    a <= t.kk
+  in
+  let weight i j =
+    let a = decode_pair t i j in
+    if a <= t.kk then a else 3 * t.kk - a
+  in
+  Distance_graph_ref.of_weights ~k:t.kk ~present ~weight ~n:nn
+
+let inc_row t i =
+  let g = to_graph t in
+  let nn = n t in
+  let fresh = Array.copy t.e.(i) in
+  for j = 0 to nn - 1 do
+    if j <> i then begin
+      let advance =
+        (Distance_graph_ref.edge g j i && Distance_graph_ref.on_max_path g j i)
+        || (Distance_graph_ref.edge g i j && Distance_graph_ref.weight g i j < t.kk)
+      in
+      if advance then fresh.(j) <- (fresh.(j) + 1) mod (3 * t.kk)
+    end
+  done;
+  fresh
+
+let apply_inc t i = t.e.(i) <- inc_row t i

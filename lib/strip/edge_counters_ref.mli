@@ -1,0 +1,55 @@
+(** Frozen reference implementation (pre-flat-rewrite), kept verbatim
+    for the differential property tests of the flat module.  Not used
+    on any production path. *)
+
+(** The concurrent bounded encoding of the distance graph (§4.3).
+
+    Each pair of processes shares two counters on a cycle of size
+    [3K]: [e.(i).(j)] is process [i]'s pointer for the pair [(i,j)]
+    (only process [i] ever changes row [i]).  Decoding a pair with
+    [a = (e.(i).(j) - e.(j).(i)) mod 3K]:
+
+    - [a = 0]: both edges, weight 0 (tokens level);
+    - [1 ≤ a ≤ K]: edge [(i,j)] with weight [a] ([i] leads [j] by [a]);
+    - [2K ≤ a < 3K]: edge [(j,i)] with weight [3K - a];
+    - [K < a < 2K]: undecodable — never reached, because a process only
+      advances its pointer when it trails or leads by less than [K].
+
+    [inc_row] is the paper's [inc_graph]: given a (possibly stale,
+    snapshot-read) view of all rows, compute process [i]'s next row by
+    advancing the pointers toward processes it tightly trails (along a
+    max path) or leads by less than [K]. *)
+
+type t
+
+val create : k:int -> n:int -> t
+(** All counters 0 (all tokens level). *)
+
+val of_rows : k:int -> int array array -> t
+(** Adopt existing rows (e.g. scanned from shared memory).
+    @raise Invalid_argument if the matrix is not square or an entry is
+    outside [[0, 3K)]. *)
+
+val k : t -> int
+val n : t -> int
+
+val row : t -> int -> int array
+(** Copy of row [i]. *)
+
+val rows : t -> int array array
+(** Copy of the whole matrix. *)
+
+val decode_pair : t -> int -> int -> int
+(** The raw cyclic difference [a] for the ordered pair (see above). *)
+
+val valid : t -> bool
+(** No pair decodes into the forbidden band [(K, 2K)]. *)
+
+val to_graph : t -> Distance_graph_ref.t
+(** @raise Invalid_argument when {!valid} is false. *)
+
+val inc_row : t -> int -> int array
+(** The new row for process [i] per [inc_graph]; pure. *)
+
+val apply_inc : t -> int -> unit
+(** [inc_row] stored in place (sequential/test convenience). *)

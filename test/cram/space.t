@@ -1,0 +1,59 @@
+Golden tests for the `space-report` subcommand and the bench-row space
+fields: the schema, the exact register/bit counts, and the measured
+(arena) side of the accounting are all pinned.  These numbers are
+analytic — they may only change when the protocol's state layout does,
+never from a refactor of the memory representation.
+
+  $ BPRC=../../bin/bprc_cli.exe
+
+Human-readable report, paper configuration at n=4 (k=2, δ=2, m=256):
+one 46-bit payload + toggle per process value, one bit per handshake
+arrow, 204 shared bits total.
+
+  $ $BPRC space-report -n 4
+  algorithm : ADS89 (bounded shared coin)   n = 4   (k=2 delta=2 m=256)
+  payload   : 46 bits of protocol state per segment
+  values                            4 reg x    47 bits =      188 bits
+  arrows                           16 reg x     1 bits =       16 bits
+  TOTAL                            20 reg, max  47 bits,      204 bits total
+  arena     : 20 registers created
+
+The JSON schema is versioned and its field order is part of the golden
+contract (downstream plot scripts key on it):
+
+  $ $BPRC space-report -n 4 --json
+  {"schema":"bprc-space-report","version":1,"algo":"ads","n":4,"params":{"k":2,"delta":2,"m":256},"state_bits":46,"space":{"groups":[{"group":"values","registers":4,"bits_per_register":47,"bits":188},{"group":"arrows","registers":16,"bits_per_register":1,"bits":16}],"registers":20,"max_register_bits":47,"total_bits":204},"registers_created":20}
+
+The large-n configuration (ADS89 over the embedded snapshot) trades
+the O(n²) one-bit arrows for one wide cell per process carrying an
+embedded n-view and an unbounded sequence number (63 machine-word
+bits in the accounting):
+
+  $ $BPRC space-report -n 2 --algo esnap --json
+  {"schema":"bprc-space-report","version":1,"algo":"esnap","n":2,"params":{"k":2,"delta":2,"m":64},"state_bits":34,"space":{"groups":[{"group":"cells","registers":2,"bits_per_register":165,"bits":330}],"registers":2,"max_register_bits":165,"total_bits":330},"registers_created":2}
+
+The unbounded-strip baseline reports its creation-time width (it grows
+during a run — `consensus` runs report the grown maximum):
+
+  $ $BPRC space-report -n 2 --algo ah --json
+  {"schema":"bprc-space-report","version":1,"algo":"ah","n":2,"params":{"k":2,"delta":2,"m":64},"state_bits":4,"space":{"groups":[{"group":"values","registers":2,"bits_per_register":5,"bits":10},{"group":"arrows","registers":4,"bits_per_register":1,"bits":4}],"registers":6,"max_register_bits":5,"total_bits":14},"registers_created":6}
+
+Bench rows carry the same accounting as `<bench>_space_*` extra
+metrics.  The checked-in report's values are pinned here: consensus
+(n=4) must agree with the space-report above, and the large-n family's
+counts and steps-to-decide are deterministic in the bench seed.
+
+  $ grep -o '"[a-z0-9-]*_space_[a-z_]*":[0-9]*' ../../BENCH_throughput.json
+  "consensus_space_registers":20
+  "consensus_space_max_register_bits":47
+  "consensus_space_total_bits":204
+  "large-n64_space_registers":64
+  "large-n64_space_max_register_bits":16313
+  "large-n64_space_total_bits":1044032
+  "large-n256_space_registers":256
+  "large-n256_space_max_register_bits":215429
+  "large-n256_space_total_bits":55149824
+
+  $ grep -o '"large-n[0-9]*_steps_to_decide":[0-9]*' ../../BENCH_throughput.json
+  "large-n64_steps_to_decide":171498
+  "large-n256_steps_to_decide":4027139

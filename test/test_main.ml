@@ -6,6 +6,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("registers", Test_registers.suite);
       ("snapshot", Test_snapshot.suite);
+      ("space", Test_space.suite);
       ("strip", Test_strip.suite);
       ("coin", Test_coin.suite);
       ("consensus", Test_consensus.suite);

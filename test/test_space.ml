@@ -1,0 +1,253 @@
+open Bprc_runtime
+module Space = Bprc_space.Space
+
+(* ------------------------------------------------------------------ *)
+(* Space report combinators                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_entry_validation () =
+  Alcotest.check_raises "negative registers"
+    (Invalid_argument "Space.entry: negative registers") (fun () ->
+      ignore (Space.entry ~group:"x" ~registers:(-1) ~bits_per_register:1));
+  Alcotest.check_raises "negative bits"
+    (Invalid_argument "Space.entry: negative bits_per_register") (fun () ->
+      ignore (Space.entry ~group:"x" ~registers:1 ~bits_per_register:(-1)))
+
+let test_totals () =
+  let t =
+    [
+      Space.entry ~group:"values" ~registers:4 ~bits_per_register:47;
+      Space.entry ~group:"arrows" ~registers:16 ~bits_per_register:1;
+    ]
+  in
+  Alcotest.(check int) "registers" 20 (Space.registers t);
+  Alcotest.(check int) "total bits" 204 (Space.total_bits t);
+  Alcotest.(check int) "max width" 47 (Space.max_register_bits t);
+  Alcotest.(check int) "empty total" 0 (Space.total_bits []);
+  Alcotest.(check int) "empty max" 0 (Space.max_register_bits []);
+  let scaled = Space.scale ~registers:3 t in
+  Alcotest.(check int) "scaled registers" 60 (Space.registers scaled);
+  Alcotest.(check int) "scaled bits" 612 (Space.total_bits scaled);
+  match Space.prefix "snap" t with
+  | { Space.group = "snap.values"; _ } :: { Space.group = "snap.arrows"; _ }
+    :: [] -> ()
+  | _ -> Alcotest.fail "prefix did not rename groups in order"
+
+let test_json_shape () =
+  let t = [ Space.entry ~group:"g" ~registers:2 ~bits_per_register:5 ] in
+  Alcotest.(check string)
+    "stable field order"
+    "{\"groups\":[{\"group\":\"g\",\"registers\":2,\"bits_per_register\":5,\"bits\":10}],\"registers\":2,\"max_register_bits\":5,\"total_bits\":10}"
+    (Bprc_util.Json.to_string (Space.to_json t))
+
+(* ------------------------------------------------------------------ *)
+(* Exact counts for known shapes (hand-computed from §2/§5)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Default params, n=2: k=2, δ=2, m=4·(δn)²=64.  One segment's payload:
+   pref 2 + pointer ⌈lg 3⌉=2 + 3 coins × ⌈lg 131⌉=8 + 2 edges × ⌈lg 6⌉=3
+   = 34 bits; handshake adds the toggle (35/register) and the 2×2 arrow
+   matrix: 2·35 + 4·1 = 74 shared bits in 6 registers. *)
+let expect_ads ~n ~registers ~max_bits ~total_bits () =
+  let sim =
+    Sim.create ~seed:0 ~max_steps:1 ~n ~adversary:(Adversary.random ()) ()
+  in
+  let module C = Bprc_core.Ads89.Make ((val Sim.runtime sim)) in
+  let t = C.create () in
+  let s = C.space t in
+  Alcotest.(check int) "registers" registers (Space.registers s);
+  Alcotest.(check int) "max register bits" max_bits (Space.max_register_bits s);
+  Alcotest.(check int) "total shared bits" total_bits (Space.total_bits s);
+  Alcotest.(check int)
+    "arena agrees" registers
+    (Sim.registers_created sim)
+
+let test_exact_ads_n2 () =
+  expect_ads ~n:2 ~registers:6 ~max_bits:35 ~total_bits:74 ()
+
+(* n=4: m=4·(2·4)²=256; payload 2 + 2 + 3×⌈lg 515⌉=30 + 4×3 = 46 bits;
+   4·47 + 16·1 = 204 bits in 20 registers. *)
+let test_exact_ads_n4 () =
+  expect_ads ~n:4 ~registers:20 ~max_bits:47 ~total_bits:204 ()
+
+let test_exact_snapshots () =
+  let n = 4 in
+  let sim =
+    Sim.create ~seed:0 ~max_steps:1 ~n ~adversary:(Adversary.random ()) ()
+  in
+  let module R = (val Sim.runtime sim) in
+  let module H = Bprc_snapshot.Handshake.Make (R) in
+  let h = H.create ~init:0 () in
+  Alcotest.(check int) "handshake regs" (n + (n * n))
+    (Space.registers (H.space ~value_bits:10 h));
+  Alcotest.(check int) "handshake bits"
+    ((n * 11) + (n * n))
+    (Space.total_bits (H.space ~value_bits:10 h));
+  let module E = Bprc_snapshot.Embedded.Make (R) in
+  let e = E.create ~init:0 () in
+  Alcotest.(check int) "embedded regs" n (Space.registers (E.space ~value_bits:10 e));
+  Alcotest.(check int) "embedded bits"
+    (n * (10 + 63 + (n * 10)))
+    (Space.total_bits (E.space ~value_bits:10 e));
+  let module U = Bprc_snapshot.Unbounded.Make (R) in
+  let u = U.create ~init:0 () in
+  Alcotest.(check int) "unbounded regs" n (Space.registers (U.space ~value_bits:10 u));
+  Alcotest.(check int) "unbounded bits"
+    (n * (10 + 63))
+    (Space.total_bits (U.space ~value_bits:10 u))
+
+(* ------------------------------------------------------------------ *)
+(* Constancy: the report never changes across a run, and the arena     *)
+(* never sees a register the report does not account for               *)
+(* ------------------------------------------------------------------ *)
+
+let test_space_constant_over_run () =
+  let n = 3 in
+  let sim =
+    Sim.create ~seed:5 ~n ~adversary:(Adversary.random ()) ()
+  in
+  let module C = Bprc_core.Ads89.Make ((val Sim.runtime sim)) in
+  let t = C.create () in
+  let space0 = C.space t in
+  let regs0 = Sim.registers_created sim in
+  Alcotest.(check int) "report honest at creation" (Space.registers space0)
+    regs0;
+  let handles =
+    Array.init n (fun i -> Sim.spawn sim (fun () -> C.run t ~input:(i mod 2 = 0)))
+  in
+  (match Sim.run sim with
+  | Sim.Completed -> ()
+  | Sim.Hit_step_limit -> Alcotest.fail "run hit step limit");
+  Array.iter (fun h -> ignore (Sim.result h)) handles;
+  Alcotest.(check int) "no hidden shared-register allocation mid-run" regs0
+    (Sim.registers_created sim);
+  Alcotest.(check bool) "report constant across the run" true
+    (C.space t = space0)
+
+let test_run_surfaces_space () =
+  let r =
+    Bprc_harness.Run.consensus_once
+      ~algo:(Bprc_harness.Run.Ads Bprc_core.Ads89.Shared_walk)
+      ~pattern:Bprc_harness.Run.Split ~n:4 ~seed:2 ()
+  in
+  Alcotest.(check bool) "completed" true r.Bprc_harness.Run.completed;
+  Alcotest.(check int) "space through Run" 204
+    (Space.total_bits r.Bprc_harness.Run.space);
+  Alcotest.(check int) "measured = analytic" 20
+    r.Bprc_harness.Run.registers_used;
+  let r =
+    Bprc_harness.Run.consensus_once
+      ~algo:(Bprc_harness.Run.Ads_esnap Bprc_core.Ads89.Oracle_shared)
+      ~pattern:Bprc_harness.Run.Split ~n:4 ~seed:2 ()
+  in
+  Alcotest.(check bool) "esnap completed" true r.Bprc_harness.Run.completed;
+  (* 4 cells × (46 payload + 63 seq + 4·46 view) *)
+  Alcotest.(check int) "esnap space through Run" (4 * (46 + 63 + 184))
+    (Space.total_bits r.Bprc_harness.Run.space);
+  Alcotest.(check int) "esnap measured = analytic" 4
+    r.Bprc_harness.Run.registers_used
+
+(* ------------------------------------------------------------------ *)
+(* Large-n smoke: n=64 decides, deterministically                      *)
+(* ------------------------------------------------------------------ *)
+
+let trace_digest sim =
+  match Sim.trace sim with
+  | None -> Alcotest.fail "trace recording was requested"
+  | Some t ->
+    let buf = Buffer.create (1 lsl 16) in
+    Trace.iter
+      (fun (e : Trace.event) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d|%d|%d|%s|%s\n" e.time e.pid e.reg_id e.reg_name
+             (match e.kind with
+             | Trace.Read -> "R"
+             | Trace.Write -> "W"
+             | Trace.Flip b -> if b then "F1" else "F0"
+             | Trace.Step -> "S"
+             | Trace.Note s -> "N:" ^ s)))
+      t;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let large_n = 64
+let large_max_steps = 2_000_000
+
+let large_run ?sim seed =
+  let r =
+    Bprc_harness.Run.consensus_once ?sim ~max_steps:large_max_steps
+      ~algo:(Bprc_harness.Run.Ads_esnap Bprc_core.Ads89.Oracle_shared)
+      ~pattern:Bprc_harness.Run.Random_inputs ~n:large_n ~seed ()
+  in
+  if not r.Bprc_harness.Run.completed then
+    Alcotest.failf "n=%d did not decide within %d steps" large_n
+      large_max_steps;
+  (match r.Bprc_harness.Run.spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "spec violation at n=%d: %s" large_n e);
+  r
+
+let test_large_n_decides () =
+  let r = large_run 3 in
+  Array.iteri
+    (fun i d ->
+      if d = None then Alcotest.failf "process %d undecided" i)
+    r.Bprc_harness.Run.decisions;
+  Alcotest.(check int) "all registers accounted"
+    (Space.registers r.Bprc_harness.Run.space)
+    r.Bprc_harness.Run.registers_used
+
+let test_large_n_digest_deterministic_across_reset () =
+  (* The same arena, reset between runs, must replay the identical
+     schedule: the full trace digest is pinned, not just the outcome. *)
+  let sim =
+    Sim.create ~seed:0 ~max_steps:large_max_steps ~n:large_n
+      ~record_trace:true ~adversary:(Adversary.random ()) ()
+  in
+  let r1 = large_run ~sim 3 in
+  let d1 = trace_digest sim in
+  let r2 = large_run ~sim 3 in
+  let d2 = trace_digest sim in
+  Alcotest.(check string) "digest stable across Sim.reset reuse" d1 d2;
+  Alcotest.(check bool) "decisions stable" true
+    (r1.Bprc_harness.Run.decisions = r2.Bprc_harness.Run.decisions);
+  Alcotest.(check int) "steps stable" r1.Bprc_harness.Run.steps
+    r2.Bprc_harness.Run.steps
+
+let test_large_n_digest_deterministic_across_workers () =
+  let digests ~workers =
+    let pool = Bprc_harness.Pool.create ~workers () in
+    let out =
+      Bprc_harness.Pool.map pool 2 (fun i ->
+          let sim =
+            Sim.create ~seed:0 ~max_steps:large_max_steps ~n:large_n
+              ~record_trace:true ~adversary:(Adversary.random ()) ()
+          in
+          let r = large_run ~sim (3 + i) in
+          (trace_digest sim, r.Bprc_harness.Run.steps))
+    in
+    Bprc_harness.Pool.shutdown pool;
+    out
+  in
+  Alcotest.(check bool) "1-vs-2 pool workers agree" true
+    (digests ~workers:1 = digests ~workers:2)
+
+let suite =
+  [
+    Alcotest.test_case "space: entry validation" `Quick test_entry_validation;
+    Alcotest.test_case "space: totals/scale/prefix" `Quick test_totals;
+    Alcotest.test_case "space: json shape" `Quick test_json_shape;
+    Alcotest.test_case "space: exact ADS89 n=2" `Quick test_exact_ads_n2;
+    Alcotest.test_case "space: exact ADS89 n=4" `Quick test_exact_ads_n4;
+    Alcotest.test_case "space: exact snapshot layouts" `Quick
+      test_exact_snapshots;
+    Alcotest.test_case "space: constant over a run" `Quick
+      test_space_constant_over_run;
+    Alcotest.test_case "space: surfaced through Run" `Quick
+      test_run_surfaces_space;
+    Alcotest.test_case "large-n: n=64 decides in bound" `Quick
+      test_large_n_decides;
+    Alcotest.test_case "large-n: digest stable across reset reuse" `Quick
+      test_large_n_digest_deterministic_across_reset;
+    Alcotest.test_case "large-n: digest stable across pool workers" `Quick
+      test_large_n_digest_deterministic_across_workers;
+  ]

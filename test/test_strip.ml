@@ -481,3 +481,280 @@ let suite =
       Alcotest.test_case "counters: wrap boundaries x gap compression" `Quick
         test_counters_wrap_boundaries_with_compression;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: flat Distance_graph / Edge_counters vs the frozen     *)
+(* pre-rewrite reference implementations                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The flat modules answer max-path queries from a reconstructed
+   position vector when the graph is consistent and fall back to the
+   reference relaxation otherwise; these lockstep drivers assert the
+   two implementations are observably identical on both paths. *)
+
+let graphs_agree ~ctx g gr =
+  let n = Distance_graph.n g in
+  if n <> Distance_graph_ref.n gr || Distance_graph.k g <> Distance_graph_ref.k gr
+  then Alcotest.failf "%s: shape mismatch" ctx;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let e = Distance_graph.edge g i j
+        and er = Distance_graph_ref.edge gr i j in
+        if e <> er then
+          Alcotest.failf "%s: edge (%d,%d) flat=%b ref=%b" ctx i j e er;
+        if e && Distance_graph.weight g i j <> Distance_graph_ref.weight gr i j
+        then
+          Alcotest.failf "%s: weight (%d,%d) flat=%d ref=%d" ctx i j
+            (Distance_graph.weight g i j)
+            (Distance_graph_ref.weight gr i j)
+      end
+    done
+  done
+
+(* Full max-path query comparison: O(n^4)+ in the reference, so callers
+   budget it ([pairs = None] compares every ordered pair). *)
+let max_path_queries_agree ~ctx ?pairs g gr r =
+  let n = Distance_graph.n g in
+  let check_pair (i, j) =
+    if i <> j then begin
+      let d = Distance_graph.dist g i j
+      and dr = Distance_graph_ref.dist gr i j in
+      if d <> dr then
+        Alcotest.failf "%s: dist (%d,%d) flat=%s ref=%s" ctx i j
+          (match d with Some x -> string_of_int x | None -> "-")
+          (match dr with Some x -> string_of_int x | None -> "-");
+      let m = Distance_graph.on_max_path g i j
+      and mr = Distance_graph_ref.on_max_path gr i j in
+      if m <> mr then
+        Alcotest.failf "%s: on_max_path (%d,%d) flat=%b ref=%b" ctx i j m mr
+    end
+  in
+  (match pairs with
+  | None ->
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        check_pair (i, j)
+      done
+    done
+  | Some budget ->
+    for _ = 1 to budget do
+      check_pair (Bprc_rng.Splitmix.int r n, Bprc_rng.Splitmix.int r n)
+    done);
+  let l = Distance_graph.leaders g and lr = Distance_graph_ref.leaders gr in
+  if l <> lr then Alcotest.failf "%s: leaders disagree" ctx
+
+let counters_agree ~ctx flat refc =
+  let n = Edge_counters.n flat in
+  if Edge_counters.rows flat <> Edge_counters_ref.rows refc then
+    Alcotest.failf "%s: rows diverge" ctx;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if
+        i <> j
+        && Edge_counters.decode_pair flat i j
+           <> Edge_counters_ref.decode_pair refc i j
+      then Alcotest.failf "%s: decode_pair (%d,%d) diverges" ctx i j
+    done
+  done;
+  if Edge_counters.valid flat <> Edge_counters_ref.valid refc then
+    Alcotest.failf "%s: validity diverges" ctx
+
+(* Lockstep random walk: one shared op sequence applied to both
+   implementations, every observable compared after every step.
+   [stall] freezes the last process so the K-gap compression stays
+   active while the movers' pointers wrap the mod-3K cycle; [full]
+   turns on the exhaustive (reference-priced) max-path comparison. *)
+let diff_counters_walk ~k ~n ~steps ~seed ~stall ~full ~sample =
+  let flat = Edge_counters.create ~k ~n in
+  let refc = Edge_counters_ref.create ~k ~n in
+  let r = rng seed in
+  let movers = if stall && n > 1 then n - 1 else n in
+  for step = 1 to steps do
+    let i = Bprc_rng.Splitmix.int r movers in
+    let ctx = Printf.sprintf "k=%d n=%d step %d (mover %d)" k n step i in
+    let row_f = Edge_counters.inc_row flat i in
+    let row_r = Edge_counters_ref.inc_row refc i in
+    if row_f <> row_r then Alcotest.failf "%s: inc_row diverges" ctx;
+    Edge_counters.apply_inc flat i;
+    Edge_counters_ref.apply_inc refc i;
+    counters_agree ~ctx flat refc;
+    let g = Edge_counters.to_graph flat in
+    let gr = Edge_counters_ref.to_graph refc in
+    graphs_agree ~ctx g gr;
+    if full then max_path_queries_agree ~ctx g gr r
+    else if step mod sample = 0 then
+      max_path_queries_agree ~ctx ~pairs:4 g gr r
+  done
+
+let test_diff_counters_small () =
+  (* 10k+ lockstep steps across the required widths; the reference's
+     O(n^4) max-path answers bound how many full comparisons n=32
+     affords. *)
+  diff_counters_walk ~k:2 ~n:2 ~steps:2000 ~seed:11 ~stall:false ~full:true
+    ~sample:1;
+  diff_counters_walk ~k:1 ~n:2 ~steps:1000 ~seed:12 ~stall:false ~full:true
+    ~sample:1;
+  diff_counters_walk ~k:2 ~n:4 ~steps:2500 ~seed:13 ~stall:false ~full:true
+    ~sample:1;
+  diff_counters_walk ~k:3 ~n:4 ~steps:1500 ~seed:14 ~stall:true ~full:true
+    ~sample:1;
+  diff_counters_walk ~k:2 ~n:8 ~steps:1500 ~seed:15 ~stall:false ~full:false
+    ~sample:25;
+  diff_counters_walk ~k:2 ~n:8 ~steps:1500 ~seed:16 ~stall:true ~full:false
+    ~sample:25
+
+let test_diff_counters_wide () =
+  diff_counters_walk ~k:2 ~n:32 ~steps:40 ~seed:17 ~stall:true ~full:false
+    ~sample:10
+
+let test_diff_counters_wrap_compression () =
+  (* The wrap-boundary x gap-compression pattern of
+     [test_counters_wrap_boundaries_with_compression], in lockstep:
+     two movers drive their pointer pair around the full mod-3K cycle
+     eight times while the third process stalls at a saturated K-gap,
+     then the stalled process catches up. *)
+  List.iter
+    (fun k ->
+      let n = 3 in
+      let flat = Edge_counters.create ~k ~n in
+      let refc = Edge_counters_ref.create ~k ~n in
+      let r = rng (100 + k) in
+      let step i =
+        let ctx = Printf.sprintf "wrap k=%d mover %d" k i in
+        let row_f = Edge_counters.inc_row flat i in
+        let row_r = Edge_counters_ref.inc_row refc i in
+        if row_f <> row_r then Alcotest.failf "%s: inc_row diverges" ctx;
+        Edge_counters.apply_inc flat i;
+        Edge_counters_ref.apply_inc refc i;
+        counters_agree ~ctx flat refc;
+        let g = Edge_counters.to_graph flat in
+        let gr = Edge_counters_ref.to_graph refc in
+        graphs_agree ~ctx g gr;
+        max_path_queries_agree ~ctx g gr r
+      in
+      for _ = 1 to k do
+        step 0;
+        step 1
+      done;
+      for _ = 1 to 8 * 3 * k do
+        step 0;
+        step 1
+      done;
+      for _ = 1 to k do
+        step 2
+      done)
+    [ 1; 2; 3 ]
+
+(* Stale-view rows: [inc_row] on states assembled with [of_rows] from
+   two different points of the same walk (a scanned view can mix rows
+   of different ages).  Both implementations must agree even on these
+   not-necessarily-position-consistent states — the flat module's
+   relaxation fallback path. *)
+let test_diff_counters_stale_views () =
+  let k = 2 and n = 4 in
+  let r = rng 77 in
+  let live = Edge_counters_ref.create ~k ~n in
+  let old_rows = ref (Edge_counters_ref.rows live) in
+  for step = 1 to 600 do
+    let i = Bprc_rng.Splitmix.int r n in
+    Edge_counters_ref.apply_inc live i;
+    if Bprc_rng.Splitmix.int r 5 = 0 then old_rows := Edge_counters_ref.rows live;
+    (* Mix: each row either current or from the stashed older state. *)
+    let mixed =
+      Array.init n (fun p ->
+          if Bprc_rng.Splitmix.bool r then (Edge_counters_ref.rows live).(p)
+          else !old_rows.(p))
+    in
+    let flat = Edge_counters.of_rows ~k mixed in
+    let refc = Edge_counters_ref.of_rows ~k mixed in
+    let ctx = Printf.sprintf "stale step %d" step in
+    counters_agree ~ctx flat refc;
+    if Edge_counters.valid flat then begin
+      let g = Edge_counters.to_graph flat in
+      let gr = Edge_counters_ref.to_graph refc in
+      graphs_agree ~ctx g gr;
+      max_path_queries_agree ~ctx g gr r;
+      for i = 0 to n - 1 do
+        if Edge_counters.inc_row flat i <> Edge_counters_ref.inc_row refc i
+        then Alcotest.failf "%s: inc_row %d diverges" ctx i
+      done
+    end
+  done
+
+(* Arbitrary (not counter-decodable) graphs: random presence/weight
+   matrices, including negative weights, positive cycles and
+   non-total-order shapes — everything the position fast path must
+   reject and the fallback must answer exactly like the reference. *)
+let test_diff_graph_arbitrary () =
+  let r = rng 31 in
+  for case = 1 to 400 do
+    let n = 2 + Bprc_rng.Splitmix.int r 4 in
+    let k = 1 + Bprc_rng.Splitmix.int r 3 in
+    let w = Array.make_matrix n n None in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && Bprc_rng.Splitmix.int r 3 > 0 then
+          w.(i).(j) <- Some (Bprc_rng.Splitmix.int r (k + 4) - 2)
+      done
+    done;
+    let present i j = w.(i).(j) <> None
+    and weight i j = match w.(i).(j) with Some x -> x | None -> 0 in
+    let g = Distance_graph.of_weights ~k ~present ~weight ~n in
+    let gr = Distance_graph_ref.of_weights ~k ~present ~weight ~n in
+    let ctx = Printf.sprintf "arbitrary case %d (n=%d k=%d)" case n k in
+    graphs_agree ~ctx g gr;
+    max_path_queries_agree ~ctx g gr r;
+    if Distance_graph.no_positive_cycle g
+       <> Distance_graph_ref.no_positive_cycle gr
+    then Alcotest.failf "%s: no_positive_cycle diverges" ctx;
+    if Distance_graph.weights_in_range g
+       <> Distance_graph_ref.weights_in_range gr
+    then Alcotest.failf "%s: weights_in_range diverges" ctx;
+    if Distance_graph.total_order_consistent g
+       <> Distance_graph_ref.total_order_consistent gr
+    then Alcotest.failf "%s: total_order_consistent diverges" ctx;
+    (* [inc] must agree too (rule-by-rule vs position fast path when
+       the graph happens to be consistent). *)
+    if Distance_graph.no_positive_cycle g then
+      for i = 0 to n - 1 do
+        graphs_agree ~ctx:(Printf.sprintf "%s inc %d" ctx i)
+          (Distance_graph.inc g i)
+          (Distance_graph_ref.inc gr i)
+      done
+  done
+
+let test_diff_graph_positions () =
+  (* Consistent graphs from real token games: the position fast path. *)
+  let r = rng 59 in
+  for case = 1 to 300 do
+    let n = 2 + Bprc_rng.Splitmix.int r 7 in
+    let k = 1 + Bprc_rng.Splitmix.int r 3 in
+    let pos = Array.init n (fun _ -> Bprc_rng.Splitmix.int r (3 * k * n)) in
+    let g = Distance_graph.of_positions ~k pos in
+    let gr = Distance_graph_ref.of_positions ~k pos in
+    let ctx = Printf.sprintf "positions case %d (n=%d k=%d)" case n k in
+    graphs_agree ~ctx g gr;
+    max_path_queries_agree ~ctx ~pairs:6 g gr r;
+    let i = Bprc_rng.Splitmix.int r n in
+    graphs_agree ~ctx:(ctx ^ " inc")
+      (Distance_graph.inc g i)
+      (Distance_graph_ref.inc gr i)
+  done
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "diff: counters lockstep (n=2,4,8)" `Quick
+        test_diff_counters_small;
+      Alcotest.test_case "diff: counters lockstep (n=32)" `Quick
+        test_diff_counters_wide;
+      Alcotest.test_case "diff: wrap boundaries x compression" `Quick
+        test_diff_counters_wrap_compression;
+      Alcotest.test_case "diff: stale mixed-row views" `Quick
+        test_diff_counters_stale_views;
+      Alcotest.test_case "diff: arbitrary graphs (fallback path)" `Quick
+        test_diff_graph_arbitrary;
+      Alcotest.test_case "diff: position graphs (fast path)" `Quick
+        test_diff_graph_positions;
+    ]
