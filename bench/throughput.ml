@@ -8,11 +8,33 @@
      throughput.exe --json [FILE]       also write a report
                                         (default FILE: BENCH_throughput.json)
      throughput.exe --baseline FILE     embed FILE (a previous report) under
-                                        "baseline" in the emitted JSON
+                                        "baseline" in the emitted JSON; the
+                                        embedded copy's own "baseline" field
+                                        is nulled out so the chain stays one
+                                        level deep instead of nesting every
+                                        refresh inside the last
      throughput.exe --assert-minor-words-per-step CEIL
                                         exit 1 if the raw-Sim bench allocates
                                         more than CEIL minor words per step
                                         (CI allocation-regression guard)
+     throughput.exe --assert-explorer-words-per-run CEIL
+                                        exit 1 if explorer-seq allocates more
+                                        than CEIL minor words per explored run
+                                        (the ladder rewrite's allocation-free
+                                        DFS bookkeeping guard)
+     throughput.exe --assert-seq-vs-ref R
+                                        exit 1 if explorer-seq runs/sec falls
+                                        below R x explorer-ref (the in-process
+                                        floor on the amortized-replay speedup;
+                                        machine-independent, unlike the 2x
+                                        claim against the recorded baseline)
+     throughput.exe --assert-seq-vs-baseline R
+                                        exit 1 if explorer-seq runs/sec falls
+                                        below R x the --baseline file's
+                                        recorded explorer-seq rate (the 2x
+                                        claim, checked when refreshing the
+                                        shipped report on a comparable
+                                        machine; requires --baseline)
      throughput.exe --assert-par1-vs-seq R
                                         exit 1 if explorer-par1 runs/sec falls
                                         below R x explorer-seq (1-worker pools
@@ -34,11 +56,19 @@
                  inputs (ops = decided processes)
      explorer    bounded exhaustive exploration of a 3-process
                  write-then-read config (ops = exploration runs)
+     explorer-ref   the same snapshot-atomic tree explored by the
+                 frozen pre-ladder Explorer_ref — the in-process
+                 baseline the amortized-replay speedup is asserted
+                 against
      explorer-seq   the snapshot-atomic registry config explored
                  unreduced (30k-run tree) with no pool at all — the
                  apples-to-apples sequential baseline for the parN rows
                  (the plain "explorer" row uses a much lighter config
-                 and is not comparable)
+                 and is not comparable); runs with the explorer's
+                 default checkpoint ladder
+     explorer-ladder0  explorer-seq with the ladder disabled
+                 (--ladder 0 semantics): isolates how much of the
+                 seq rate is the ladder vs the allocation work
      explorer-parN  the same config and tree over a N-worker pool
                  (ops = exploration runs; all rows from explorer-seq
                  down must report identical run counts — checked)
@@ -258,21 +288,41 @@ let par_config () =
   | Some c -> c
   | None -> failwith "snapshot-atomic config missing"
 
-let explore_par_once ?pool cfg =
+let explore_par_once ?ladder ?pool cfg =
   let stats =
     Bprc_check.Explorer.explore ~n:cfg.Bprc_check.Config.n
-      ~max_steps:cfg.Bprc_check.Config.max_steps ~reduction:false ?pool
+      ~max_steps:cfg.Bprc_check.Config.max_steps ~reduction:false ?ladder ?pool
       ~setup:cfg.Bprc_check.Config.setup ()
   in
   if not stats.Bprc_check.Explorer.exhausted then
     failwith "explorer-seq/par bench did not exhaust";
   stats.Bprc_check.Explorer.runs
 
-let bench_explorer_seq ~trials () =
+(* The frozen pre-ladder explorer on the identical tree: the in-process
+   baseline for the amortized-replay speedup assert.  Being in the same
+   process and build, it moves with the machine and the shared workload
+   libraries, so the seq-vs-ref ratio is conservative — the recorded
+   BENCH_throughput.json baseline is where the full speedup shows. *)
+let bench_explorer_ref ~trials () =
   let cfg = par_config () in
   let runs = ref 0 in
   for _ = 1 to trials do
-    runs := !runs + explore_par_once cfg
+    let stats =
+      Bprc_check.Explorer_ref.explore ~n:cfg.Bprc_check.Config.n
+        ~max_steps:cfg.Bprc_check.Config.max_steps ~reduction:false
+        ~setup:cfg.Bprc_check.Config.setup ()
+    in
+    if not stats.Bprc_check.Explorer_ref.exhausted then
+      failwith "explorer-ref bench did not exhaust";
+    runs := !runs + stats.Bprc_check.Explorer_ref.runs
+  done;
+  (!runs, None, 0.0)
+
+let bench_explorer_seq ?ladder ~trials () =
+  let cfg = par_config () in
+  let runs = ref 0 in
+  for _ = 1 to trials do
+    runs := !runs + explore_par_once ?ladder cfg
   done;
   (!runs, None, 0.0)
 
@@ -381,7 +431,10 @@ let table ~trials samples =
         "explorer-parN minor words sum the driving domain and all pool \
          helper domains (per-domain Gc counters banked at chunk join)";
         "explorer-seq is the same config as explorer-parN with no pool: \
-         the baseline for par scaling asserts";
+         the baseline for par scaling asserts (checkpoint ladder on)";
+        "explorer-ref is the frozen pre-ladder explorer on the same tree; \
+         explorer-ladder0 is explorer-seq with the ladder disabled — \
+         together they isolate the amortized-replay speedup";
         "service-nN rows drive the lib/service decision engine closed-loop \
          (in-flight window pinned at its cap of 1000) over a 2-worker pool; \
          their lat_p50_s/lat_p99_s metrics are submit-to-decide latency";
@@ -409,6 +462,9 @@ let parse_args args =
   and ceiling = ref None
   and esnap_ceiling = ref None
   and esnap_obj_ceiling = ref None
+  and explorer_words_ceiling = ref None
+  and seq_vs_ref = ref None
+  and seq_vs_baseline = ref None
   and par1_vs_seq = ref None
   and par_scaling = ref None
   and space_ceiling = ref None
@@ -445,6 +501,12 @@ let parse_args args =
       number "--assert-esnap-words-per-op" esnap_ceiling v tl go
     | "--assert-esnap-obj-words-per-op" :: v :: tl ->
       number "--assert-esnap-obj-words-per-op" esnap_obj_ceiling v tl go
+    | "--assert-explorer-words-per-run" :: v :: tl ->
+      number "--assert-explorer-words-per-run" explorer_words_ceiling v tl go
+    | "--assert-seq-vs-ref" :: v :: tl ->
+      number "--assert-seq-vs-ref" seq_vs_ref v tl go
+    | "--assert-seq-vs-baseline" :: v :: tl ->
+      number "--assert-seq-vs-baseline" seq_vs_baseline v tl go
     | "--assert-par1-vs-seq" :: v :: tl ->
       number "--assert-par1-vs-seq" par1_vs_seq v tl go
     | "--assert-par-scaling" :: v :: tl ->
@@ -458,7 +520,8 @@ let parse_args args =
   in
   go args;
   ( !json, !trials, !baseline, !ceiling, !esnap_ceiling, !esnap_obj_ceiling,
-    !par1_vs_seq, !par_scaling, !space_ceiling, !huge_n )
+    !explorer_words_ceiling, !seq_vs_ref, !seq_vs_baseline, !par1_vs_seq,
+    !par_scaling, !space_ceiling, !huge_n )
 
 let read_baseline file =
   let ic = open_in file in
@@ -466,14 +529,29 @@ let read_baseline file =
   let s = really_input_string ic len in
   close_in ic;
   match Bprc_util.Json.of_string s with
+  | Ok (Bprc_util.Json.Obj kvs) ->
+    (* Cap the baseline chain at depth 1: the loaded report may itself
+       embed the report it was compared against, and without this every
+       refresh would nest the full history one level deeper. *)
+    Bprc_util.Json.Obj
+      (List.map
+         (function
+           | "baseline", _ -> ("baseline", Bprc_util.Json.Null)
+           | kv -> kv)
+         kvs)
   | Ok j -> j
   | Error e -> usage_error (Printf.sprintf "--baseline %s: %s" file e)
 
 let () =
   let ( json, trials, baseline, ceiling, esnap_ceiling, esnap_obj_ceiling,
-        par1_vs_seq, par_scaling, space_ceiling, huge_n ) =
+        explorer_words_ceiling, seq_vs_ref, seq_vs_baseline, par1_vs_seq,
+        par_scaling, space_ceiling, huge_n ) =
     parse_args (List.tl (Array.to_list Sys.argv))
   in
+  (* Load the baseline before any report write: --json may target the
+     same file (the usual refresh-in-place flow), and the baseline
+     assert below must compare against the old contents. *)
+  let baseline_json = Option.map read_baseline baseline in
   let t0 = Unix.gettimeofday () in
   let consensus_space = ref [] in
   let samples =
@@ -485,7 +563,10 @@ let () =
         ~bench:"consensus" ~unit_:"decision"
         (bench_consensus ~trials ~space:consensus_space);
       measure ~bench:"explorer" ~unit_:"run" (bench_explorer ~trials);
+      measure ~bench:"explorer-ref" ~unit_:"run" (bench_explorer_ref ~trials);
       measure ~bench:"explorer-seq" ~unit_:"run" (bench_explorer_seq ~trials);
+      measure ~bench:"explorer-ladder0" ~unit_:"run"
+        (bench_explorer_seq ~ladder:0 ~trials);
       measure ~bench:"explorer-par1" ~unit_:"run"
         (bench_explorer_par ~workers:1 ~trials);
       measure ~bench:"explorer-par2" ~unit_:"run"
@@ -500,14 +581,17 @@ let () =
     ]
     @ (if huge_n then [ measure_large_n ~n:1024 ] else [])
   in
-  (* The parallel explorer rows must agree on the work done: identical
-     trees, identical run counts, only the rate may differ. *)
+  (* The explorer rows over the snapshot-atomic tree must agree on the
+     work done: identical trees, identical run counts — across worker
+     counts, ladder settings, and the frozen reference — only the rate
+     may differ. *)
   (match
      List.filter_map
        (fun s ->
          if
            String.starts_with ~prefix:"explorer-par" s.bench
-           || s.bench = "explorer-seq"
+           || s.bench = "explorer-seq" || s.bench = "explorer-ref"
+           || s.bench = "explorer-ladder0"
          then Some s.ops
          else None)
        samples
@@ -538,9 +622,9 @@ let () =
           [
             ("kind_detail", Table.Str "bprc-throughput-report");
             ( "baseline",
-              match baseline with
+              match baseline_json with
               | None -> Table.Null
-              | Some file -> read_baseline file );
+              | Some j -> j );
           ];
       }
     in
@@ -573,6 +657,12 @@ let () =
   in
   check_ceiling ~what:"esnap-scan object words/op" ~got:esnap_obj
     esnap_obj_ceiling;
+  (* The ladder rewrite's allocation guard: the explorer's own DFS
+     bookkeeping is allocation-free, so words/run on the 30k-run tree
+     is workload setup + check cost and must stay flat. *)
+  let explorer_seq = List.find (fun s -> s.bench = "explorer-seq") samples in
+  check_ceiling ~what:"explorer-seq minor words/run"
+    ~got:(minor_per_op explorer_seq) explorer_words_ceiling;
   (* The paper-config (handshake, n=4) shared-bits total: the flat
      strip/handshake rewrite must not grow the bounded footprint. *)
   (match space_ceiling with
@@ -606,7 +696,50 @@ let () =
       end
       else Printf.printf "%s: %.2fx (floor %.2fx) — ok\n%!" what got r
   in
+  check_ratio ~what:"explorer-seq vs explorer-ref" ~num:"explorer-seq"
+    ~den:"explorer-ref" seq_vs_ref;
   check_ratio ~what:"explorer-par1 vs explorer-seq" ~num:"explorer-par1"
     ~den:"explorer-seq" par1_vs_seq;
   check_ratio ~what:"explorer-par4 vs explorer-par1" ~num:"explorer-par4"
-    ~den:"explorer-par1" par_scaling
+    ~den:"explorer-par1" par_scaling;
+  (* The headline speedup claim, against the recorded report rather
+     than an in-process row: only meaningful when refreshing the
+     shipped BENCH_throughput.json on a machine comparable to the one
+     that produced the baseline. *)
+  match seq_vs_baseline with
+  | None -> ()
+  | Some r -> (
+    let bj =
+      match baseline_json with
+      | Some j -> j
+      | None -> usage_error "--assert-seq-vs-baseline requires --baseline FILE"
+    in
+    let module J = Bprc_util.Json in
+    let base_rate =
+      let ( let* ) = Option.bind in
+      let* exps = J.member "experiments" bj in
+      let* e0 = match exps with J.Arr (e :: _) -> Some e | _ -> None in
+      let* ms = J.member "metrics" e0 in
+      let* v = J.member "explorer-seq_ops_per_sec" ms in
+      match v with
+      | J.Float f -> Some f
+      | J.Int i -> Some (float_of_int i)
+      | _ -> None
+    in
+    match base_rate with
+    | None ->
+      usage_error
+        "--assert-seq-vs-baseline: baseline lacks explorer-seq_ops_per_sec"
+    | Some b ->
+      let got = rate "explorer-seq" /. b in
+      if got < r then begin
+        Printf.eprintf
+          "speedup regression: explorer-seq vs recorded baseline = %.2fx \
+           (floor %.2fx)\n%!"
+          got r;
+        exit 1
+      end
+      else
+        Printf.printf
+          "explorer-seq vs recorded baseline: %.2fx (floor %.2fx) — ok\n%!" got
+          r)

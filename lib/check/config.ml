@@ -17,21 +17,74 @@ type t = {
 module Reg_lin = Lin.Make (Specs.Register)
 module Cons_lin = Lin.Make (Specs.Consensus)
 
-let lin_verdict ~name pp_op linearizable events =
+(* ---- per-arena functor-application caches ------------------------------ *)
+
+(* [Handshake.Make]/[Ads89.Make] are pure (all state lives under their
+   [create]) but not free: each application allocates a module block
+   and a closure per operation.  The explorer calls [setup] once per
+   run — hundreds of thousands of times — so the applications are
+   memoized per simulator arena, keyed on the physical identity of
+   {!Sim.runtime}'s packed module (guaranteed stable for the arena's
+   life).  Caches are domain-local: arenas migrate between explorer
+   workers, and a migrated arena simply re-applies the functor once on
+   its new domain rather than racing on a shared table.  Weakened
+   runtimes ({!Inject.weaken_runtime} with a non-empty plan) are never
+   cached — the wrapper carries per-run mutable state and is a fresh
+   module each run. *)
+
+let snap_cache :
+    (Obj.t * (module Bprc_snapshot.Snapshot_intf.S)) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let handshake_for rt =
+  let cache = Domain.DLS.get snap_cache in
+  let key = Obj.repr rt in
+  match List.find_opt (fun (k, _) -> k == key) !cache with
+  | Some (_, m) -> m
+  | None ->
+    let m =
+      (module Bprc_snapshot.Handshake.Make ((val rt : Runtime_intf.S))
+      : Bprc_snapshot.Snapshot_intf.S)
+    in
+    cache := (key, m) :: !cache;
+    m
+
+let cons_cache :
+    (Obj.t * (module Bprc_core.Consensus_intf.S)) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let ads89_for rt =
+  let cache = Domain.DLS.get cons_cache in
+  let key = Obj.repr rt in
+  match List.find_opt (fun (k, _) -> k == key) !cache with
+  | Some (_, m) -> m
+  | None ->
+    let m =
+      (module Bprc_core.Ads89.Make ((val rt : Runtime_intf.S))
+      : Bprc_core.Consensus_intf.S)
+    in
+    cache := (key, m) :: !cache;
+    m
+
+(* [linearizable] takes the events as an array ({!Lin.check_events}):
+   one run-verdict costs no intermediate list, and the message — built
+   on violation only — renders from the same array. *)
+let lin_verdict ~name pp_op linearizable h =
+  let events = Hist.events_array h in
   if linearizable events then Ok ()
   else
     Error
       (Fmt.str "@[<h>non-linearizable %s history: %a@]" name
          Fmt.(list ~sep:sp (Hist.pp_event pp_op))
-         events)
+         (Array.to_list events))
 
 let reg_check h () =
   lin_verdict ~name:"register" Specs.Register.pp_op
     (fun evs ->
-      match Reg_lin.check evs with
+      match Reg_lin.check_events evs with
       | Reg_lin.Linearizable _ -> true
       | Reg_lin.Not_linearizable -> false)
-    (Hist.events h)
+    h
 
 (* Every process writes a distinct value then reads the register back. *)
 let reg_write_read ~plan sim =
@@ -83,49 +136,82 @@ let reg_read_read ~plan sim =
    against full snapshot linearizability; the checkers share one stamp
    counter so the two views of the history agree.  Update values must
    strictly increase per process (Snap_checker requirement). *)
-let snapshot_prog ~plan ~prog sim =
+let snapshot_prog ~plan ~prog =
   let n = Array.length prog in
-  let (module Base) = Sim.runtime sim in
-  let (module R) = Inject.weaken_runtime (module Base) ~plan in
-  let module S = Bprc_snapshot.Handshake.Make (R) in
-  let snap = S.create ~init:0 () in
-  let ck = Snap_checker.create ~n ~init:0 in
-  let h : Specs.snap_op Hist.t = Hist.create () in
-  for i = 0 to n - 1 do
-    ignore
-      (Sim.spawn sim (fun () ->
-           List.iter
-             (function
-               | `Update v ->
-                 let s = Snap_checker.stamp ck in
-                 S.write snap v;
-                 let f = Snap_checker.stamp ck in
-                 Snap_checker.record_write ck ~pid:i ~start_time:s
-                   ~finish_time:f ~value:v;
-                 Hist.record h ~pid:i ~start_time:s ~finish_time:f
-                   (Specs.Update { pid = i; value = v })
-               | `Scan ->
-                 let s = Snap_checker.stamp ck in
-                 let view = S.scan snap in
-                 let f = Snap_checker.stamp ck in
-                 Snap_checker.record_scan ck ~pid:i ~start_time:s
-                   ~finish_time:f ~view;
-                 Hist.record h ~pid:i ~start_time:s ~finish_time:f
-                   (Specs.Scan view))
-             prog.(i)))
-  done;
+  (* Hoisted out of the per-run closure: the snapshot spec and its
+     linearizability checker depend only on [n], fixed per registry
+     entry, so the functor is applied once at registry-build time
+     instead of once per explored run. *)
   let module Snap_lin = Lin.Make ((val Specs.snapshot ~n ())) in
-  fun () ->
-    let ( let* ) = Result.bind in
-    let* () = Snap_checker.check_regularity ck in
-    let* () = Snap_checker.check_snapshot ck in
-    let* () = Snap_checker.check_serializability ck in
-    lin_verdict ~name:"snapshot" Specs.pp_snap_op
-      (fun evs ->
-        match Snap_lin.check evs with
-        | Snap_lin.Linearizable _ -> true
-        | Snap_lin.Not_linearizable -> false)
-      (Hist.events h)
+  let snap_linearizable evs =
+    match Snap_lin.check_events evs with
+    | Snap_lin.Linearizable _ -> true
+    | Snap_lin.Not_linearizable -> false
+  in
+  let weakened = plan <> [] in
+  (* Per-arena checker/history scratch.  A parked checkpoint-ladder
+     arena holds a partially recorded history across other runs, so one
+     scratch pair per domain is not enough — the pair is keyed on the
+     arena (its runtime module), like the functor cache above, and
+     rewound with [reset]/[clear] when the arena starts a fresh run. *)
+  let scratch :
+      (Obj.t * (Snap_checker.t * Specs.snap_op Hist.t)) list ref Domain.DLS.key
+      =
+    Domain.DLS.new_key (fun () -> ref [])
+  in
+  fun sim ->
+    let rt = Sim.runtime sim in
+    let (module S) =
+      if weakened then begin
+        let (module R) = Inject.weaken_runtime rt ~plan in
+        (module Bprc_snapshot.Handshake.Make (R)
+        : Bprc_snapshot.Snapshot_intf.S)
+      end
+      else handshake_for rt
+    in
+    let snap = S.create ~init:0 () in
+    let ck, h =
+      let cache = Domain.DLS.get scratch in
+      let key = Obj.repr rt in
+      match List.find_opt (fun (k, _) -> k == key) !cache with
+      | Some (_, ((ck, h) as entry)) ->
+        Snap_checker.reset ck;
+        Hist.clear h;
+        entry
+      | None ->
+        let entry = (Snap_checker.create ~n ~init:0, Hist.create ()) in
+        cache := (key, entry) :: !cache;
+        entry
+    in
+    for i = 0 to n - 1 do
+      ignore
+        (Sim.spawn sim (fun () ->
+             List.iter
+               (function
+                 | `Update v ->
+                   let s = Snap_checker.stamp ck in
+                   S.write snap v;
+                   let f = Snap_checker.stamp ck in
+                   Snap_checker.record_write ck ~pid:i ~start_time:s
+                     ~finish_time:f ~value:v;
+                   Hist.record h ~pid:i ~start_time:s ~finish_time:f
+                     (Specs.Update { pid = i; value = v })
+                 | `Scan ->
+                   let s = Snap_checker.stamp ck in
+                   let view = S.scan snap in
+                   let f = Snap_checker.stamp ck in
+                   Snap_checker.record_scan ck ~pid:i ~start_time:s
+                     ~finish_time:f ~view;
+                   Hist.record h ~pid:i ~start_time:s ~finish_time:f
+                     (Specs.Scan view))
+               prog.(i)))
+    done;
+    fun () ->
+      let ( let* ) = Result.bind in
+      let* () = Snap_checker.check_regularity ck in
+      let* () = Snap_checker.check_snapshot ck in
+      let* () = Snap_checker.check_serializability ck in
+      lin_verdict ~name:"snapshot" Specs.pp_snap_op snap_linearizable h
 
 (* Two-process §5 consensus with split inputs; checked against the
    consensus spec (agreement + validity) both directly and as a
@@ -134,8 +220,7 @@ let snapshot_prog ~plan ~prog sim =
    bounded corner search, not a proof. *)
 let consensus_split sim =
   let n = 2 in
-  let (module R) = Sim.runtime sim in
-  let module C = Bprc_core.Ads89.Make (R) in
+  let (module C) = ads89_for (Sim.runtime sim) in
   let params = { Bprc_core.Params.k = 2; delta = 1; m = Some 3 } in
   let st = C.create ~params () in
   let h : Specs.cons_op Hist.t = Hist.create () in
@@ -157,10 +242,10 @@ let consensus_split sim =
     let* () = Bprc_core.Spec.check ~inputs ~decisions in
     lin_verdict ~name:"consensus" Specs.Consensus.pp_op
       (fun evs ->
-        match Cons_lin.check evs with
+        match Cons_lin.check_events evs with
         | Cons_lin.Linearizable _ -> true
         | Cons_lin.Not_linearizable -> false)
-      (Hist.events h)
+      h
 
 let weaken semantics = [ Fault_plan.Weaken { index = -1; semantics } ]
 
@@ -235,10 +320,10 @@ let all =
 let names () = List.map (fun c -> c.name) all
 let find name = List.find_opt (fun c -> c.name = name) all
 
-let run ?max_steps ?max_runs ?budget_s ?shrink ?pool cfg =
+let run ?max_steps ?max_runs ?budget_s ?shrink ?ladder ?pool cfg =
   Explorer.explore ~n:cfg.n
     ~max_steps:(Option.value max_steps ~default:cfg.max_steps)
-    ?max_runs ?budget_s ~reduction:cfg.reduction ?shrink ?pool
+    ?max_runs ?budget_s ~reduction:cfg.reduction ?shrink ?ladder ?pool
     ~setup:cfg.setup ()
 
 let replay ?max_steps cfg (w : Explorer.witness) =

@@ -32,11 +32,13 @@ val run :
   ?max_runs:int ->
   ?budget_s:float ->
   ?shrink:bool ->
+  ?ladder:int ->
   ?pool:Bprc_harness.Pool.t ->
   t ->
   Explorer.stats
 (** {!Explorer.explore} with the configuration's program, bound and
-    reduction setting ([max_steps] overrides the default; [pool] fans
+    reduction setting ([max_steps] overrides the default; [ladder]
+    bounds the checkpoint ladder, see {!Explorer.explore}; [pool] fans
     subtree exploration out across domains with bit-identical
     results — every registry setup is safe to run from helper
     domains). *)

@@ -7,11 +7,36 @@
     decision with an unexplored alternative.  The simulator is
     deterministic, so identical prefixes reach identical states and the
     tree enumerates exactly the reachable interleavings up to the step
-    bound.  All runs of one exploration (including shrink replays) share
-    a single simulator arena, rewound with {!Bprc_runtime.Sim.reset} —
-    which guarantees bit-identical behaviour to a fresh simulator — so
-    exploring thousands of schedules does not allocate thousands of
-    process tables.
+    bound.  Runs share a small pool of reusable simulator arenas,
+    rewound with {!Bprc_runtime.Sim.reset} — which guarantees
+    bit-identical behaviour to a fresh simulator — so exploring
+    thousands of schedules does not allocate thousands of process
+    tables.
+
+    {b Amortized replay: the checkpoint ladder.}  Effect continuations
+    are one-shot, so a mid-run simulator state cannot be copied; a
+    checkpoint is therefore a whole extra arena driven to a branch
+    point on the current DFS spine with {!Bprc_runtime.Sim.run_until}
+    and parked there.  On backtrack to depth [d], the next run resumes
+    (and consumes) the deepest parked arena at or below the divergence
+    instead of replaying from the root; backtracking eagerly drops
+    rungs parked beyond the new divergence, and consumed rungs are
+    regenerated lazily — at most one partial drive per run, sourced
+    from the rung below (or the root when the ladder ran dry), keeping
+    a near-divergence top rung over a geometric tail of shallower ones
+    (exponential spacing).  The [?ladder] knob bounds the parked-arena
+    count (0 disables; both the width-1 path and the parallel shard
+    path go through it).  Resumed arenas are bit-identical to replayed
+    ones, so the ladder never affects results — only where simulator
+    steps are spent.
+
+    {b Allocation discipline.}  DFS bookkeeping (candidate orders,
+    branch indices, sleep sets, captured access codes) lives in
+    depth-indexed int-array pools reused across runs, in the style of
+    [Sim]'s scratch ladder, so steady-state exploration allocates O(1)
+    words per run; the pending sleep set entering a fresh node is
+    recomputed from the node below it rather than threaded through
+    every step.
 
     Redundant interleavings are pruned with sleep sets (Godefroid-style
     partial-order reduction) keyed on each step's shared-memory access,
@@ -81,6 +106,9 @@ type stats = {
   violation : witness option;
 }
 
+val default_ladder : int
+(** Default checkpoint budget (parked arenas per shard). *)
+
 val explore :
   n:int ->
   ?max_steps:int ->
@@ -88,6 +116,7 @@ val explore :
   ?budget_s:float ->
   ?reduction:bool ->
   ?shrink:bool ->
+  ?ladder:int ->
   ?pool:Bprc_harness.Pool.t ->
   ?par_quota:int ->
   setup:setup ->
@@ -110,7 +139,18 @@ val explore :
     [par_quota] (default 1024) is the first parallel round's per-shard
     run quota, an expert/test knob: smaller values force more rounds
     and earlier re-carving, which the stress tests use to exercise the
-    steal schedule on small trees; it never affects results. *)
+    steal schedule on small trees; it never affects results.
+    [ladder] (default {!default_ladder}) bounds the checkpoint ladder —
+    the parked arenas per shard that amortize prefix replay; [0]
+    disables parking entirely.  Like [par_quota] it never affects
+    results, only how much simulator work a run costs. *)
+
+val ladder_counters : unit -> int * int
+(** [(resumes, regens)]: process-wide monotonic counts of runs resumed
+    from a parked arena and of rungs (re)generated by a partial drive.
+    Test instrumentation — read deltas around an exploration to assert
+    the ladder engaged (e.g. that a skewed tree exercises rung
+    regeneration on backtrack). *)
 
 type replay_outcome =
   | Pass

@@ -19,10 +19,14 @@ let record t ~pid ~start_time ~finish_time op =
   Bprc_util.Vec.push t.events { pid; start_time; finish_time; op }
 
 let events t = Bprc_util.Vec.to_list t.events
+let events_array t = Bprc_util.Vec.to_array t.events
 let length t = Bprc_util.Vec.length t.events
 
+(* Keeps the backing array: histories cleared between explored runs are
+   scratch, and re-growing the event vector per run is exactly the
+   allocation the reuse is there to avoid. *)
 let clear t =
-  Bprc_util.Vec.clear t.events;
+  Bprc_util.Vec.truncate t.events 0;
   t.counter <- 0
 
 let precedes a b = a.finish_time < b.start_time

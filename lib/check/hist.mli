@@ -30,6 +30,10 @@ val record : 'op t -> pid:int -> start_time:int -> finish_time:int -> 'op -> uni
 val events : 'op t -> 'op event list
 (** In recording order. *)
 
+val events_array : 'op t -> 'op event array
+(** {!events} as a fresh array — the checker's per-run path, skipping
+    the list. *)
+
 val length : 'op t -> int
 val clear : 'op t -> unit
 

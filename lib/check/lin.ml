@@ -15,8 +15,17 @@ module Make (S : SPEC) = struct
     | Linearizable of S.op Hist.event list
     | Not_linearizable
 
-  let check events =
-    let ops = Array.of_list events in
+  (* Memo table for the failed (linearized-set, state) pairs of one
+     [check] call, reused across calls: the explorer checks one short
+     history per explored schedule, and even a 16-bucket table per call
+     is measurable at that rate.  Per-domain (parallel exploration
+     shares the spec module across workers) and [Hashtbl.reset] between
+     checks, which also shrinks a table grown by an unusually deep
+     search back to its initial size. *)
+  let failed_key : (int * S.state, unit) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+  let check_events ops =
     let n = Array.length ops in
     if n > max_events then
       invalid_arg
@@ -37,30 +46,46 @@ module Make (S : SPEC) = struct
             !m)
       in
       let full = (1 lsl n) - 1 in
-      let failed : (int * S.state, unit) Hashtbl.t = Hashtbl.create 997 in
+      let failed = Domain.DLS.get failed_key in
+      Hashtbl.reset failed;
       let rec go mask st acc =
         if mask = full then Some acc
-        else if Hashtbl.mem failed (mask, st) then None
         else begin
-          let result = ref None in
-          let i = ref 0 in
-          while !result = None && !i < n do
-            let idx = !i in
-            incr i;
-            let bit = 1 lsl idx in
-            if mask land bit = 0 && preds.(idx) land lnot mask = 0 then
-              match S.apply st ops.(idx).Hist.op with
-              | Some st' -> result := go (mask lor bit) st' (idx :: acc)
-              | None -> ()
-          done;
-          if !result = None then Hashtbl.add failed (mask, st) ();
-          !result
+          (* One key tuple per node, shared by the lookup and the
+             failure insertion; the search loop tracks progress with a
+             flag rather than comparing [!result] against [None], which
+             would call the polymorphic equality on every iteration. *)
+          let key = (mask, st) in
+          if Hashtbl.mem failed key then None
+          else begin
+            let result = ref None in
+            let found = ref false in
+            let i = ref 0 in
+            while (not !found) && !i < n do
+              let idx = !i in
+              incr i;
+              let bit = 1 lsl idx in
+              if mask land bit = 0 && preds.(idx) land lnot mask = 0 then
+                match S.apply st ops.(idx).Hist.op with
+                | Some st' -> (
+                  match go (mask lor bit) st' (idx :: acc) with
+                  | Some _ as r ->
+                    result := r;
+                    found := true
+                  | None -> ())
+                | None -> ()
+            done;
+            if not !found then Hashtbl.add failed key ();
+            !result
+          end
         end
       in
       match go 0 S.init [] with
       | Some rev_order -> Linearizable (List.rev_map (fun i -> ops.(i)) rev_order)
       | None -> Not_linearizable
     end
+
+  let check events = check_events (Array.of_list events)
 
   let pp_history ppf events =
     Fmt.(list ~sep:sp (Hist.pp_event S.pp_op)) ppf events

@@ -45,5 +45,10 @@ module Make (S : SPEC) : sig
   val check : S.op Hist.event list -> verdict
   (** @raise Invalid_argument on more than {!max_events} operations. *)
 
+  val check_events : S.op Hist.event array -> verdict
+  (** [check] on {!Hist.events_array} output: the explorer's per-run
+      hot path, skipping the intermediate event list.  The array is
+      not modified. *)
+
   val pp_history : Format.formatter -> S.op Hist.event list -> unit
 end

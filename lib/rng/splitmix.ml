@@ -61,3 +61,8 @@ let split t =
 let fork t i =
   let s = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) 0xC2B2AE3D27D4EB4FL) in
   { state = mix64 s }
+
+let reseed_fork t ~seed i =
+  let master = mix64 (Int64.of_int seed) in
+  t.state <-
+    mix64 (Int64.add master (Int64.mul (Int64.of_int (i + 1)) 0xC2B2AE3D27D4EB4FL))

@@ -52,3 +52,11 @@ val fork : t -> int -> t
 (** [fork t i] is a child generator for sub-component [i], derived
     deterministically from [t]'s current state {e without} advancing
     [t].  Distinct [i] give independent streams. *)
+
+val reseed_fork : t -> seed:int -> int -> unit
+(** [reseed_fork t ~seed i] rewinds [t] in place to the state
+    [fork (create ~seed) i] produces, allocating no generator records —
+    the hot-reset counterpart of composing {!create} and {!fork}.  Arena
+    reuse paths ({!Bprc_runtime.Sim.reset}) rewind one per-process
+    stream per reset, so the composition being allocation-free matters
+    there. *)

@@ -106,6 +106,11 @@ type t = {
          scratch buffers, ctx record and effect continuations are
          single-domain state, so [step]/[run] refuse to drive the arena
          from anywhere else *)
+  mutable rt : Obj.t;
+      (* memoized [runtime] module ([kont_none] until first use): the
+         module closes over [t] only and stays valid across [reset], so
+         per-run callers (the explorer's setup closures) get the same
+         physical module instead of twelve fresh closures per run *)
 }
 
 type 'a handle = { cell : 'a option ref }
@@ -123,8 +128,11 @@ let check_owner t what =
           adopts ownership)"
          what t.owner d)
 
+(* Rewind every process slot and its RNG stream in place.  The per-pid
+   streams are [fork master (pid + 1)] of a master seeded from [seed];
+   [reseed_fork] composes the two without allocating generator records,
+   so a reset costs field writes only. *)
 let reset_procs ~seed procs =
-  let master = Bprc_rng.Splitmix.create ~seed in
   Array.iter
     (fun p ->
       p.status <- st_crashed (* replaced at spawn *);
@@ -132,10 +140,8 @@ let reset_procs ~seed procs =
       p.steps <- 0;
       p.flips <- 0;
       p.stall_until <- 0;
-      Bprc_rng.Splitmix.assign p.prng
-        ~of_:(Bprc_rng.Splitmix.fork master (p.ppid + 1)))
-    procs;
-  Bprc_rng.Splitmix.fork master 0
+      Bprc_rng.Splitmix.reseed_fork p.prng ~seed (p.ppid + 1))
+    procs
 
 let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false)
     ?trace_capacity ~n ~adversary () =
@@ -152,7 +158,9 @@ let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false)
           prng = Bprc_rng.Splitmix.create ~seed:0;
         })
   in
-  let rng = reset_procs ~seed procs in
+  reset_procs ~seed procs;
+  let rng = Bprc_rng.Splitmix.create ~seed:0 in
+  Bprc_rng.Splitmix.reseed_fork rng ~seed 0;
   let tr =
     if record_trace then Some (Trace.create ?capacity:trace_capacity ())
     else None
@@ -180,13 +188,14 @@ let create ?(seed = 0) ?(max_steps = 10_000_000) ?(record_trace = false)
     max_stall = 0;
     validate = debug;
     owner = self_id ();
+    rt = kont_none;
   }
 
 let reset ?seed ?adversary t =
   (match seed with Some s -> t.seed <- s | None -> ());
   (match adversary with Some a -> t.adversary <- a | None -> ());
-  let rng = reset_procs ~seed:t.seed t.procs in
-  Bprc_rng.Splitmix.assign t.rng ~of_:rng;
+  reset_procs ~seed:t.seed t.procs;
+  Bprc_rng.Splitmix.reseed_fork t.rng ~seed:t.seed 0;
   t.clock <- 0;
   t.spawned <- 0;
   t.current <- -1;
@@ -387,6 +396,20 @@ let run t =
   in
   go ()
 
+let run_until t ~stop =
+  check_owner t "run_until";
+  if t.spawned < t.n then
+    invalid_arg "Sim.run_until: fewer processes spawned than n";
+  let rec go () =
+    if t.clock >= t.max_steps then Some Hit_step_limit
+    else if stop () then None
+    else if step_inline t then go ()
+    else Some Completed
+  in
+  go ()
+
+let adopt t = t.owner <- self_id ()
+
 let spawn t f =
   if t.spawned >= t.n then invalid_arg "Sim.spawn: already spawned n processes";
   let pid = t.spawned in
@@ -451,7 +474,7 @@ let set_validate t on = t.validate <- on
    this simulator is being stepped (the scheduler clears it around
    observer callbacks), so the guard replaces a per-access [try]/[with]
    on [Effect.Unhandled] — an exception frame saved on every step. *)
-let runtime (t : t) : (module Runtime_intf.S) =
+let make_runtime (t : t) : (module Runtime_intf.S) =
   (module struct
     type 'a reg = { mutable v : 'a; id : int; name : string }
 
@@ -486,3 +509,16 @@ let runtime (t : t) : (module Runtime_intf.S) =
       if t.current >= 0 then perform Yield_step;
       record_access t t.current (-1) "" access_yield Trace.Step
   end : Runtime_intf.S)
+
+(* The module is pure closure state over [t] and the mli promises it
+   stays valid across [reset], so it is built once per arena and cached.
+   The cache slot shares [kont_none] as its "absent" sentinel; a packed
+   first-class module is a block, so the physical-equality test is
+   unambiguous. *)
+let runtime (t : t) : (module Runtime_intf.S) =
+  if t.rt != kont_none then (Obj.obj t.rt : (module Runtime_intf.S))
+  else begin
+    let m = make_runtime t in
+    t.rt <- Obj.repr m;
+    m
+  end

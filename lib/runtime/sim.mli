@@ -66,7 +66,21 @@ val reset : ?seed:int -> ?adversary:Adversary.t -> t -> unit
 val runtime : t -> (module Runtime_intf.S)
 (** The shared-memory interface bound to this simulator instance.
     Registers made from it belong to this instance only.  The module
-    stays valid across {!reset}; registers must be re-made. *)
+    stays valid across {!reset}; registers must be re-made.  The same
+    physical module is returned on every call (it is memoized on the
+    arena), so per-run callers may key functor-application caches on
+    it. *)
+
+val adopt : t -> unit
+(** Make the calling domain the arena's owner {e without} resetting it.
+    This is the parked-arena seam for the explorer's checkpoint ladder:
+    a simulator replayed to a branch point by one worker may be resumed
+    by another, and the mid-run state (suspended fibers, clocks,
+    registers) must survive the migration — which {!reset} would wipe.
+    Only legal at a quiescent point: the previous owner must have
+    returned from {!step}/{!run}/{!run_until} and must never drive the
+    arena again without re-adopting it.  Concurrent driving is still a
+    race; this merely transfers the single-driver token. *)
 
 val spawn : t -> (unit -> 'a) -> 'a handle
 (** Register process number [spawned-so-far] (pids are assigned 0,1,...).
@@ -78,6 +92,16 @@ val run : t -> outcome
     is hit.  @raise Invalid_argument if fewer than [n] processes were
     spawned, or when called from a domain other than the arena's owner
     (see {!step}). *)
+
+val run_until : t -> stop:(unit -> bool) -> outcome option
+(** Like {!run}, but pause and return [None] as soon as [stop ()] holds
+    (checked before every step, after the step-limit check).  The arena
+    is left mid-run and can be driven further by {!step}, {!run} or
+    another [run_until] — or parked as a checkpoint and resumed later,
+    possibly from another domain via {!adopt}.  [Some outcome] means the
+    run finished before [stop] fired.  Raises like {!run} when fewer
+    than [n] processes are spawned or the caller does not own the
+    arena. *)
 
 val step : t -> bool
 (** Execute a single adversary-chosen step.  Returns [false] when no

@@ -21,17 +21,32 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     mutable retries : int;
   }
 
+  (* Register names depend only on the base [name] and [R.n], yet
+     [Printf.sprintf] dominated [create]'s allocation when a checker
+     calls it once per explored run.  Memoized per base name at functor
+     level: the name strings themselves are unchanged byte for byte. *)
+  let names_cache : (string * (string array * string array)) list ref = ref []
+
+  let names_for name =
+    match List.assoc_opt name !names_cache with
+    | Some ns -> ns
+    | None ->
+      let vs = Array.init R.n (fun j -> Printf.sprintf "%s.V%d" name j) in
+      let ar =
+        Array.init (R.n * R.n) (fun idx ->
+            Printf.sprintf "%s.A%d.%d" name (idx / R.n) (idx mod R.n))
+      in
+      names_cache := (name, (vs, ar)) :: !names_cache;
+      (vs, ar)
+
   let create ?(name = "snap") ~init () =
+    let value_names, arrow_names = names_for name in
     let cell0 = { value = init; toggle = false } in
     {
-      values =
-        Array.init R.n (fun j ->
-            R.make_reg ~name:(Printf.sprintf "%s.V%d" name j) cell0);
+      values = Array.init R.n (fun j -> R.make_reg ~name:value_names.(j) cell0);
       arrows =
         Array.init (R.n * R.n) (fun idx ->
-            R.make_reg
-              ~name:(Printf.sprintf "%s.A%d.%d" name (idx / R.n) (idx mod R.n))
-              false);
+            R.make_reg ~name:arrow_names.(idx) false);
       my_value = Array.make R.n init;
       my_toggle = Array.make R.n false;
       v1 = Array.init R.n (fun _ -> Array.make R.n cell0);

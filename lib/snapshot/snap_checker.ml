@@ -13,17 +13,30 @@ type t = {
   init : int;
   writes : wrec Bprc_util.Vec.t array;  (** per writer, in order *)
   scans : srec Bprc_util.Vec.t;
+  init_recs : wrec array;  (** the virtual time-0 writes, for {!reset} *)
   mutable counter : int;
 }
 
 let create ~n ~init =
+  let init_recs =
+    Array.init n (fun pid -> { wpid = pid; ws = 0; wf = 0; wv = init; windex = 0 })
+  in
   let writes =
     Array.init n (fun pid ->
         let v = Bprc_util.Vec.create () in
-        Bprc_util.Vec.push v { wpid = pid; ws = 0; wf = 0; wv = init; windex = 0 };
+        Bprc_util.Vec.push v init_recs.(pid);
         v)
   in
-  { n; init; writes; scans = Bprc_util.Vec.create (); counter = 0 }
+  { n; init; writes; scans = Bprc_util.Vec.create (); init_recs; counter = 0 }
+
+let reset t =
+  for pid = 0 to t.n - 1 do
+    let per = t.writes.(pid) in
+    if Bprc_util.Vec.is_empty per then Bprc_util.Vec.push per t.init_recs.(pid)
+    else Bprc_util.Vec.truncate per 1
+  done;
+  Bprc_util.Vec.truncate t.scans 0;
+  t.counter <- 0
 
 let stamp t =
   t.counter <- t.counter + 1;
@@ -56,73 +69,85 @@ let writes t =
 
 let scans t = Bprc_util.Vec.length t.scans
 
-(* The write by [pid] that produced [value], and its successor if any. *)
-let find_write t pid value =
+(* Index into [t.writes.(pid)] of the write that produced [value], or
+   [-1].  Index-based (rather than returning the record and its
+   successor) so the explorer-driven hot path — every one of these
+   checks runs once per explored schedule — allocates nothing; values
+   strictly increase per writer, so the last match is the only match,
+   exactly as the pre-rewrite record-returning lookup behaved.  The
+   record at the index doubles as its own [windex]: the virtual initial
+   write sits at 0 and [record_write] stamps [windex] with the push
+   position. *)
+let find_widx t pid value =
   let per = t.writes.(pid) in
-  let found = ref None in
-  Bprc_util.Vec.iteri
-    (fun i w ->
-      if w.wv = value then
-        found :=
-          Some
-            ( w,
-              if i + 1 < Bprc_util.Vec.length per then
-                Some (Bprc_util.Vec.get per (i + 1))
-              else None ))
-    per;
+  let len = Bprc_util.Vec.length per in
+  let found = ref (-1) in
+  for i = 0 to len - 1 do
+    if (Bprc_util.Vec.get per i).wv = value then found := i
+  done;
   !found
 
-(* Definition 2.1 against a generic operation interval.  [<=] instead
-   of [<] only matters for the virtual initial writes, which all share
-   stamp 0 and coexist with each other by definition; real events carry
-   unique stamps. *)
-let potentially_coexists (w, next) ~op_start ~op_finish =
+(* Definition 2.1 against a generic operation interval, on the write at
+   index [i] of writer [pid].  [<=] instead of [<] only matters for the
+   virtual initial writes, which all share stamp 0 and coexist with
+   each other by definition; real events carry unique stamps. *)
+let potentially_coexists t pid i ~op_start ~op_finish =
+  let per = t.writes.(pid) in
+  let w = Bprc_util.Vec.get per i in
   w.ws <= op_finish
-  && match next with None -> true | Some n' -> not (n'.wf < op_start)
+  && (i + 1 >= Bprc_util.Vec.length per
+     || not ((Bprc_util.Vec.get per (i + 1)).wf < op_start))
 
-let result_iter_scans t f =
+(* First scan for which [f] reports a problem ([f] returns [Some msg]);
+   message construction stays confined to the failure path. *)
+let first_bad_scan t f =
   let err = ref None in
   Bprc_util.Vec.iter
-    (fun s -> if !err = None then match f s with Ok () -> () | Error e -> err := Some e)
+    (fun s -> match !err with Some _ -> () | None -> err := f s)
     t.scans;
   match !err with None -> Ok () | Some e -> Error e
 
 let check_regularity t =
-  result_iter_scans t (fun s ->
+  first_bad_scan t (fun s ->
       let bad = ref None in
       for j = 0 to t.n - 1 do
-        if !bad = None then
-          match find_write t j s.view.(j) with
-          | None ->
+        if !bad == None then begin
+          let i = find_widx t j s.view.(j) in
+          if i < 0 then
             bad :=
               Some
                 (Printf.sprintf
                    "P1: scan by %d returned value %d never written by %d"
                    s.spid s.view.(j) j)
-          | Some wn ->
-            if not (potentially_coexists wn ~op_start:s.ss ~op_finish:s.sf)
-            then
-              bad :=
-                Some
-                  (Printf.sprintf
-                     "P1: scan by %d [%d,%d] returned stale value %d of %d"
-                     s.spid s.ss s.sf s.view.(j) j)
+          else if
+            not (potentially_coexists t j i ~op_start:s.ss ~op_finish:s.sf)
+          then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "P1: scan by %d [%d,%d] returned stale value %d of %d"
+                   s.spid s.ss s.sf s.view.(j) j)
+        end
       done;
-      match !bad with None -> Ok () | Some e -> Error e)
+      !bad)
 
 let check_snapshot t =
-  result_iter_scans t (fun s ->
+  first_bad_scan t (fun s ->
       let bad = ref None in
       for a = 0 to t.n - 1 do
         for b = a + 1 to t.n - 1 do
-          if !bad = None then
-            match (find_write t a s.view.(a), find_write t b s.view.(b)) with
-            | Some ((wa, _) as wan), Some ((wb, _) as wbn) ->
+          if !bad == None then begin
+            let ia = find_widx t a s.view.(a) in
+            let ib = find_widx t b s.view.(b) in
+            if ia < 0 || ib < 0 then bad := Some "P2: unknown write in view"
+            else begin
+              let wa = Bprc_util.Vec.get t.writes.(a) ia in
+              let wb = Bprc_util.Vec.get t.writes.(b) ib in
               let ab =
-                potentially_coexists wan ~op_start:wb.ws ~op_finish:wb.wf
+                potentially_coexists t a ia ~op_start:wb.ws ~op_finish:wb.wf
               in
               let ba =
-                potentially_coexists wbn ~op_start:wa.ws ~op_finish:wa.wf
+                potentially_coexists t b ib ~op_start:wa.ws ~op_finish:wa.wf
               in
               if not (ab || ba) then
                 bad :=
@@ -131,28 +156,29 @@ let check_snapshot t =
                        "P2: view of scan by %d mixes non-coexisting writes \
                         %d@%d and %d@%d"
                        s.spid s.view.(a) a s.view.(b) b)
-            | _ -> bad := Some "P2: unknown write in view"
+            end
+          end
         done
       done;
-      match !bad with None -> Ok () | Some e -> Error e)
+      !bad)
 
 let view_indices t s =
   Array.init t.n (fun j ->
-      match find_write t j s.view.(j) with
-      | Some (w, _) -> w.windex
-      | None -> invalid_arg "Snap_checker: unknown value in view")
+      let i = find_widx t j s.view.(j) in
+      if i < 0 then invalid_arg "Snap_checker: unknown value in view";
+      (Bprc_util.Vec.get t.writes.(j) i).windex)
 
 let check_serializability t =
+  let m = Bprc_util.Vec.length t.scans in
   let views =
-    Bprc_util.Vec.to_array t.scans |> Array.map (fun s -> (s, view_indices t s))
+    Array.init m (fun x -> view_indices t (Bprc_util.Vec.get t.scans x))
   in
-  let m = Array.length views in
   let bad = ref None in
   for x = 0 to m - 1 do
     for y = x + 1 to m - 1 do
-      if !bad = None then begin
-        let _, vx = views.(x) in
-        let _, vy = views.(y) in
+      if !bad == None then begin
+        let vx = views.(x) in
+        let vy = views.(y) in
         let le = ref true and ge = ref true in
         for j = 0 to t.n - 1 do
           if vx.(j) > vy.(j) then le := false;

@@ -16,6 +16,13 @@ type t
 
 val create : n:int -> init:int -> t
 
+val reset : t -> unit
+(** Forget every recorded event and restart the stamp counter: the
+    checker behaves as if freshly {!create}d (the virtual initial
+    writes are kept).  Lets a harness that checks one history per
+    explored schedule reuse one checker per simulator arena instead of
+    allocating per run. *)
+
 val stamp : t -> int
 (** Strictly-increasing event timestamp. *)
 

@@ -54,6 +54,20 @@ let clear t =
   t.data <- [||];
   t.len <- 0
 
+(* Unlike [clear]/[pop], the vacated slots cannot all be released when
+   the vector empties: with no element left to overwrite with, slot 0
+   keeps its value and stays pinned.  One bounded element per scratch
+   vector is the price of keeping the capacity. *)
+let truncate t k =
+  if k < 0 || k > t.len then invalid_arg "Vec.truncate: index out of bounds";
+  if t.len > 0 then begin
+    let filler = t.data.(0) in
+    for i = max k 1 to t.len - 1 do
+      t.data.(i) <- filler
+    done
+  end;
+  t.len <- k
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f t.data.(i)

@@ -16,6 +16,15 @@ val set : 'a t -> int -> 'a -> unit
 val last : 'a t -> 'a option
 val pop : 'a t -> 'a option
 val clear : 'a t -> unit
+(** Empty the vector and release its storage. *)
+
+val truncate : 'a t -> int -> unit
+(** [truncate t k] drops elements [k .. length t - 1] but keeps the
+    backing array, so a vector reused as per-run scratch does not
+    reallocate its capacity; the element at index 0 may stay pinned
+    (use {!clear} to release storage).
+    @raise Invalid_argument when [k] is negative or beyond the length. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

@@ -17,13 +17,13 @@ Atomic implementations are exhausted clean (exit 0); counts are
 deterministic, so they are part of the golden output:
 
   $ $BPRC check reg-atomic snapshot-atomic --json
-  {"kind":"bprc-check-report","version":1,"workers":1,"outcome":"clean","configs":[{"name":"reg-atomic","runs":7,"pruned":3,"step_limited":0,"exhausted":true},{"name":"snapshot-atomic","runs":84,"pruned":67,"step_limited":0,"exhausted":true}]}
+  {"kind":"bprc-check-report","version":1,"workers":1,"ladder":8,"outcome":"clean","configs":[{"name":"reg-atomic","runs":7,"pruned":3,"step_limited":0,"exhausted":true},{"name":"snapshot-atomic","runs":84,"pruned":67,"step_limited":0,"exhausted":true}]}
 
 A safe-weakened register yields a non-linearizable history (exit 1)
 with a minimal replayable witness:
 
   $ $BPRC check reg-safe --json --out w.json
-  {"kind":"bprc-check-report","version":1,"workers":1,"outcome":"violation","configs":[{"name":"reg-safe","runs":2,"pruned":0,"step_limited":0,"exhausted":false,"failure":"non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]","clock":12,"choices":1,"flips":0,"witness":"w.json"}]}
+  {"kind":"bprc-check-report","version":1,"workers":1,"ladder":8,"outcome":"violation","configs":[{"name":"reg-safe","runs":2,"pruned":0,"step_limited":0,"exhausted":false,"failure":"non-linearizable register history: p0:W(10)[2,3] p0:R=0[4,5] p1:W(20)[1,6] p1:R=20[7,8]","clock":12,"choices":1,"flips":0,"witness":"w.json"}]}
   [1]
 
   $ cat w.json
@@ -55,7 +55,7 @@ Human-readable exploration output for the regular-weakened register
 A run capped below the schedule-tree size exits 124 (bound hit):
 
   $ $BPRC check reg-atomic --max-runs 3 --json
-  {"kind":"bprc-check-report","version":1,"workers":1,"outcome":"bound_hit","configs":[{"name":"reg-atomic","runs":3,"pruned":1,"step_limited":0,"exhausted":false}]}
+  {"kind":"bprc-check-report","version":1,"workers":1,"ladder":8,"outcome":"bound_hit","configs":[{"name":"reg-atomic","runs":3,"pruned":1,"step_limited":0,"exhausted":false}]}
   [124]
 
 Worker count is a throughput knob, not a semantic one: apart from the
