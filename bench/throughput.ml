@@ -35,6 +35,21 @@
                                         claim, checked when refreshing the
                                         shipped report on a comparable
                                         machine; requires --baseline)
+     throughput.exe --assert-consensus-words-per-decision CEIL
+                                        exit 1 if the consensus row allocates
+                                        more than CEIL minor words per decided
+                                        process (the protocol scratch-arena
+                                        regression guard)
+     throughput.exe --assert-consensus-vs-baseline R
+                                        exit 1 if consensus decisions/sec fall
+                                        below R x the --baseline file's
+                                        recorded consensus rate (requires
+                                        --baseline)
+     throughput.exe --assert-service8-vs-baseline R
+                                        exit 1 if service-n8 instances/sec fall
+                                        below R x the --baseline file's
+                                        recorded service-n8 rate (requires
+                                        --baseline)
      throughput.exe --assert-par1-vs-seq R
                                         exit 1 if explorer-par1 runs/sec falls
                                         below R x explorer-seq (1-worker pools
@@ -382,7 +397,16 @@ let bench_service ~n ~per_trial ~trials ~latency () =
   List.iter account (E.drain engine);
   if !decided <> total then failwith "service bench lost instances";
   let st = E.stats engine in
-  latency := [ ("lat_p50_s", st.E.lat_p50_s); ("lat_p99_s", st.E.lat_p99_s) ];
+  latency :=
+    [
+      ("lat_p50_s", st.E.lat_p50_s);
+      ("lat_p99_s", st.E.lat_p99_s);
+      (* The engine's own per-instance allocation gauge (driving domain
+         + helpers, banked per dispatch round): lands in the metric map
+         as service-nN_minor_words_per_instance so the report carries
+         the regression-guard number directly. *)
+      ("minor_words_per_instance", st.E.minor_words_per_instance);
+    ];
   E.shutdown engine;
   let helper_words = Pool.helper_minor_words pool in
   Pool.shutdown pool;
@@ -463,8 +487,11 @@ let parse_args args =
   and esnap_ceiling = ref None
   and esnap_obj_ceiling = ref None
   and explorer_words_ceiling = ref None
+  and consensus_words_ceiling = ref None
   and seq_vs_ref = ref None
   and seq_vs_baseline = ref None
+  and consensus_vs_baseline = ref None
+  and service8_vs_baseline = ref None
   and par1_vs_seq = ref None
   and par_scaling = ref None
   and space_ceiling = ref None
@@ -503,10 +530,17 @@ let parse_args args =
       number "--assert-esnap-obj-words-per-op" esnap_obj_ceiling v tl go
     | "--assert-explorer-words-per-run" :: v :: tl ->
       number "--assert-explorer-words-per-run" explorer_words_ceiling v tl go
+    | "--assert-consensus-words-per-decision" :: v :: tl ->
+      number "--assert-consensus-words-per-decision" consensus_words_ceiling v
+        tl go
     | "--assert-seq-vs-ref" :: v :: tl ->
       number "--assert-seq-vs-ref" seq_vs_ref v tl go
     | "--assert-seq-vs-baseline" :: v :: tl ->
       number "--assert-seq-vs-baseline" seq_vs_baseline v tl go
+    | "--assert-consensus-vs-baseline" :: v :: tl ->
+      number "--assert-consensus-vs-baseline" consensus_vs_baseline v tl go
+    | "--assert-service8-vs-baseline" :: v :: tl ->
+      number "--assert-service8-vs-baseline" service8_vs_baseline v tl go
     | "--assert-par1-vs-seq" :: v :: tl ->
       number "--assert-par1-vs-seq" par1_vs_seq v tl go
     | "--assert-par-scaling" :: v :: tl ->
@@ -520,8 +554,9 @@ let parse_args args =
   in
   go args;
   ( !json, !trials, !baseline, !ceiling, !esnap_ceiling, !esnap_obj_ceiling,
-    !explorer_words_ceiling, !seq_vs_ref, !seq_vs_baseline, !par1_vs_seq,
-    !par_scaling, !space_ceiling, !huge_n )
+    !explorer_words_ceiling, !consensus_words_ceiling, !seq_vs_ref,
+    !seq_vs_baseline, !consensus_vs_baseline, !service8_vs_baseline,
+    !par1_vs_seq, !par_scaling, !space_ceiling, !huge_n )
 
 let read_baseline file =
   let ic = open_in file in
@@ -544,8 +579,9 @@ let read_baseline file =
 
 let () =
   let ( json, trials, baseline, ceiling, esnap_ceiling, esnap_obj_ceiling,
-        explorer_words_ceiling, seq_vs_ref, seq_vs_baseline, par1_vs_seq,
-        par_scaling, space_ceiling, huge_n ) =
+        explorer_words_ceiling, consensus_words_ceiling, seq_vs_ref,
+        seq_vs_baseline, consensus_vs_baseline, service8_vs_baseline,
+        par1_vs_seq, par_scaling, space_ceiling, huge_n ) =
     parse_args (List.tl (Array.to_list Sys.argv))
   in
   (* Load the baseline before any report write: --json may target the
@@ -663,6 +699,12 @@ let () =
   let explorer_seq = List.find (fun s -> s.bench = "explorer-seq") samples in
   check_ceiling ~what:"explorer-seq minor words/run"
     ~got:(minor_per_op explorer_seq) explorer_words_ceiling;
+  (* The protocol scratch-arena guard: steady-state ADS89 rounds decode
+     scans into a reused counter-matrix + graph pair, so minor words
+     per decided process on the consensus row must stay low and flat. *)
+  let consensus_row = List.find (fun s -> s.bench = "consensus") samples in
+  check_ceiling ~what:"consensus minor words/decision"
+    ~got:(minor_per_op consensus_row) consensus_words_ceiling;
   (* The paper-config (handshake, n=4) shared-bits total: the flat
      strip/handshake rewrite must not grow the bounded footprint. *)
   (match space_ceiling with
@@ -702,44 +744,53 @@ let () =
     ~den:"explorer-seq" par1_vs_seq;
   check_ratio ~what:"explorer-par4 vs explorer-par1" ~num:"explorer-par4"
     ~den:"explorer-par1" par_scaling;
-  (* The headline speedup claim, against the recorded report rather
-     than an in-process row: only meaningful when refreshing the
-     shipped BENCH_throughput.json on a machine comparable to the one
-     that produced the baseline. *)
-  match seq_vs_baseline with
-  | None -> ()
-  | Some r -> (
-    let bj =
-      match baseline_json with
-      | Some j -> j
-      | None -> usage_error "--assert-seq-vs-baseline requires --baseline FILE"
-    in
-    let module J = Bprc_util.Json in
-    let base_rate =
-      let ( let* ) = Option.bind in
-      let* exps = J.member "experiments" bj in
-      let* e0 = match exps with J.Arr (e :: _) -> Some e | _ -> None in
-      let* ms = J.member "metrics" e0 in
-      let* v = J.member "explorer-seq_ops_per_sec" ms in
-      match v with
-      | J.Float f -> Some f
-      | J.Int i -> Some (float_of_int i)
-      | _ -> None
-    in
-    match base_rate with
-    | None ->
-      usage_error
-        "--assert-seq-vs-baseline: baseline lacks explorer-seq_ops_per_sec"
-    | Some b ->
-      let got = rate "explorer-seq" /. b in
-      if got < r then begin
-        Printf.eprintf
-          "speedup regression: explorer-seq vs recorded baseline = %.2fx \
-           (floor %.2fx)\n%!"
-          got r;
-        exit 1
-      end
-      else
-        Printf.printf
-          "explorer-seq vs recorded baseline: %.2fx (floor %.2fx) — ok\n%!" got
-          r)
+  (* Rate claims against the recorded report rather than an in-process
+     row: only meaningful when refreshing the shipped
+     BENCH_throughput.json on a machine comparable to the one that
+     produced the baseline.  explorer-seq carries the headline 2x
+     amortized-replay claim; consensus and service-n8 are the
+     before/after floors guarding the protocol-decode rewrite. *)
+  let check_vs_baseline ~flag ~row = function
+    | None -> ()
+    | Some r -> (
+      let bj =
+        match baseline_json with
+        | Some j -> j
+        | None ->
+          usage_error (Printf.sprintf "%s requires --baseline FILE" flag)
+      in
+      let module J = Bprc_util.Json in
+      let key = row ^ "_ops_per_sec" in
+      let base_rate =
+        let ( let* ) = Option.bind in
+        let* exps = J.member "experiments" bj in
+        let* e0 = match exps with J.Arr (e :: _) -> Some e | _ -> None in
+        let* ms = J.member "metrics" e0 in
+        let* v = J.member key ms in
+        match v with
+        | J.Float f -> Some f
+        | J.Int i -> Some (float_of_int i)
+        | _ -> None
+      in
+      match base_rate with
+      | None -> usage_error (Printf.sprintf "%s: baseline lacks %s" flag key)
+      | Some b ->
+        let got = rate row /. b in
+        if got < r then begin
+          Printf.eprintf
+            "speedup regression: %s vs recorded baseline = %.2fx (floor \
+             %.2fx)\n\
+             %!"
+            row got r;
+          exit 1
+        end
+        else
+          Printf.printf "%s vs recorded baseline: %.2fx (floor %.2fx) — ok\n%!"
+            row got r)
+  in
+  check_vs_baseline ~flag:"--assert-seq-vs-baseline" ~row:"explorer-seq"
+    seq_vs_baseline;
+  check_vs_baseline ~flag:"--assert-consensus-vs-baseline" ~row:"consensus"
+    consensus_vs_baseline;
+  check_vs_baseline ~flag:"--assert-service8-vs-baseline" ~row:"service-n8"
+    service8_vs_baseline

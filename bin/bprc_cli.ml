@@ -1125,6 +1125,7 @@ let serve_bench_cmd =
                 ("wall_s", Bprc_util.Json.Float wall_s);
                 ("busy_s", Bprc_util.Json.Float st.busy_s);
                 ("decisions_per_sec", num st.decisions_per_sec);
+                ("minor_words_per_instance", num st.minor_words_per_instance);
                 ("lat_p50_s", num st.lat_p50_s);
                 ("lat_p99_s", num st.lat_p99_s);
                 ( "rounds_hist",

@@ -3,6 +3,9 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
 
   type t = {
     mem : int Snap.t;
+    views : int array array;
+        (** per-pid scan buffers: slot [p] is refilled only by process
+            [p]'s own next scan, so a view survives [p]'s yields *)
     threshold : int;  (** δ·n *)
     m : int;
     steps : int Atomic.t;
@@ -18,6 +21,7 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     if m <= threshold then invalid_arg "Bounded_walk: m must exceed the barrier";
     {
       mem = Snap.create ~name ~init:0 ();
+      views = Array.init R.n (fun _ -> Array.make R.n 0);
       threshold;
       m;
       steps = Atomic.make 0;
@@ -45,8 +49,9 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
 
   let flip t =
     let me = R.pid () in
+    let view = t.views.(me) in
     let rec loop () =
-      let view = Snap.scan t.mem in
+      Snap.scan_into t.mem view;
       match coin_value t view me with
       | Heads -> true
       | Tails -> false

@@ -31,12 +31,31 @@ struct
             virtual-round checker. *)
   }
 
+  (* Per-instance decode scratch (PR 4's arena idea lifted to the
+     protocol layer): one mod-3K counter matrix plus one distance
+     graph, refilled in place once per scan instead of allocated once
+     per round.  The pair is claimed for the decode window with a CAS
+     so the real-parallel runtime stays safe: under the cooperative
+     runtimes the window never straddles a yield (except [Local_flips],
+     see [run]), so the claim always succeeds and steady-state decode
+     allocates nothing; under [Par] a contending process falls back to
+     a fresh pair — decode is a pure function of the scanned view, so
+     results are bit-identical and only the allocation profile
+     differs. *)
+  type scratch = { s_ec : Ec.t; s_g : Dg.t }
+
   type t = {
     k : int;
     threshold : int;  (** δ·n *)
     m : int;
     params : Params.t;
     mem : state Snap.t;
+    views : state array array;
+        (** per-pid scan buffers: [views.(p)] is only ever refilled by
+            process [p]'s own next scan, so a view stays readable
+            across that process's yields *)
+    scratch : scratch;
+    scratch_busy : bool Atomic.t;
     mode : coin_mode;
     oracle_seed : int;
     (* Meta-level instrumentation (not part of the algorithm's shared
@@ -73,6 +92,10 @@ struct
       m;
       params;
       mem = Snap.create ~name ~init ();
+      views = Array.init R.n (fun _ -> Array.make R.n init);
+      scratch =
+        { s_ec = Ec.create ~k ~n:R.n; s_g = Dg.create_scratch ~k ~n:R.n };
+      scratch_busy = Atomic.make false;
       mode = coin_mode;
       oracle_seed;
       raw_round = Array.make R.n 0;
@@ -90,7 +113,8 @@ struct
 
   let scan t =
     Atomic.incr t.scan_count;
-    let view = Snap.scan t.mem in
+    let view = t.views.(R.pid ()) in
+    Snap.scan_into t.mem view;
     (match t.recorder with
     | None -> ()
     | Some rec_ ->
@@ -108,20 +132,37 @@ struct
     t.ghost_count.(me) <- t.ghost_count.(me) + 1;
     Snap.write t.mem { st with ghost = t.ghost_count.(me) }
 
-  let graph_of t view =
-    Ec.to_graph (Ec.of_rows ~k:t.k (Array.map (fun st -> st.edges) view))
+  let acquire t =
+    if Atomic.compare_and_set t.scratch_busy false true then t.scratch
+    else
+      { s_ec = Ec.create ~k:t.k ~n:R.n; s_g = Dg.create_scratch ~k:t.k ~n:R.n }
+
+  let release t scr =
+    if scr == t.scratch then Atomic.set t.scratch_busy false
+
+  (* Decode the scanned view into the scratch: rows into the counter
+     matrix, counters into the distance graph.  Validation and error
+     messages are exactly the fresh [of_rows]/[to_graph] path's. *)
+  let graph_into scr view =
+    for i = 0 to R.n - 1 do
+      Ec.set_row scr.s_ec i view.(i).edges
+    done;
+    Ec.to_graph_into scr.s_ec scr.s_g;
+    scr.s_g
 
   (* Round advancement (§5 [inc]): bump the coin pointer, zero the slot
      now standing for the round being entered, advance the edge
-     counters.  Returns the round fields of the new state. *)
-  let inc_fields t view me =
+     counters (against the scratch decode of the same view).  Returns
+     the round fields of the new state; [coins]/[edges] are fresh
+     arrays because they are published to shared memory and must not
+     alias the scratch. *)
+  let inc_fields t scr view me =
     let st = view.(me) in
     let kp1 = t.k + 1 in
     let current_coin = (st.current_coin + 1) mod kp1 in
     let coins = Array.copy st.coins in
     coins.((current_coin + 1) mod kp1) <- 0;
-    let ec = Ec.of_rows ~k:t.k (Array.map (fun s -> s.edges) view) in
-    let edges = Ec.inc_row ec me in
+    let edges = Ec.inc_row_with scr.s_ec ~graph:scr.s_g me in
     t.raw_round.(me) <- t.raw_round.(me) + 1;
     t.coin_published.(me) <- 0;
     t.coin_pending.(me) <- 0;
@@ -169,18 +210,33 @@ struct
     Atomic.incr t.walk_count;
     coins
 
-  let trails_by_k t g me j =
-    match Dg.dist g me j with Some d -> d >= t.k | None -> false
+  let trails_by_k t g me j = Dg.dist_ge g me j t.k
 
-  let leaders_agree view ls =
-    match ls with
-    | [] -> None
-    | l0 :: rest -> (
-      match view.(l0).pref with
-      | None -> None
-      | Some v ->
-        if List.for_all (fun l -> view.(l).pref = Some v) rest then Some v
-        else None)
+  (* Do all leaders carry the same non-⊥ preference?  The pre-rewrite
+     form ([Dg.leaders] + [List.for_all] + [= Some v]) allocated a
+     list plus an option per comparison; this loop allocates only the
+     final [Some].  Same answer: [None] when there are no leaders,
+     some leader has no preference, or two leaders disagree. *)
+  let leaders_agree view g =
+    let n = Array.length view in
+    let seen = ref false
+    and ok = ref true
+    and have = ref false
+    and agreed = ref false in
+    for i = 0 to n - 1 do
+      if !ok && Dg.is_leader g i then begin
+        seen := true;
+        match view.(i).pref with
+        | None -> ok := false
+        | Some v ->
+          if not !have then begin
+            have := true;
+            agreed := v
+          end
+          else if v <> !agreed then ok := false
+      end
+    done;
+    if !seen && !ok then Some !agreed else None
 
   let oracle_value t round =
     Bprc_rng.Splitmix.bool
@@ -193,17 +249,32 @@ struct
     t.rounds_at_decision.(me) <- t.raw_round.(me);
     v
 
+  (* The scratch claim discipline in [run]: acquire after the scan,
+     release before the write — both yield, the decode window between
+     them does not, so under the cooperative runtimes the shared pair
+     is always free when claimed.  The one exception is [Local_flips],
+     whose [R.flip] yields mid-window: the claim is held across it
+     (the flip must stay before the round bump — it is a yield point
+     the adversary may probe, so hoisting [inc_fields] would change
+     schedules), and a process interleaved there simply decodes into a
+     fresh pair.  A process crashed at that yield leaks the claim:
+     every later decode of the instance falls back to fresh allocation
+     — a performance loss only, never a correctness one. *)
   let run t ~input =
     let me = R.pid () in
     (* Announce: adopt the input and enter round 1. *)
     let view = scan t in
-    let current_coin, coins, edges = inc_fields t view me in
+    let scr = acquire t in
+    let (_ : Dg.t) = graph_into scr view in
+    let current_coin, coins, edges = inc_fields t scr view me in
+    release t scr;
     write t { pref = Some input; current_coin; coins; edges; ghost = 0 };
     let rec loop () =
       let view = scan t in
-      let g = graph_of t view in
+      let scr = acquire t in
+      let g = graph_into scr view in
       let my = view.(me) in
-      let is_leader = List.mem me (Dg.leaders g) in
+      let is_leader = Dg.is_leader g me in
       let can_decide =
         match my.pref with
         | None -> false
@@ -211,39 +282,51 @@ struct
           is_leader
           && (let ok = ref true in
               for j = 0 to R.n - 1 do
-                if j <> me && view.(j).pref <> Some v && not (trails_by_k t g me j)
-                then ok := false
+                if j <> me then begin
+                  let agrees =
+                    match view.(j).pref with Some w -> w = v | None -> false
+                  in
+                  if (not agrees) && not (trails_by_k t g me j) then
+                    ok := false
+                end
               done;
               !ok)
       in
       match my.pref with
-      | Some v when can_decide -> decide t me v
+      | Some v when can_decide ->
+        release t scr;
+        decide t me v
       | _ -> (
-        match leaders_agree view (Dg.leaders g) with
+        match leaders_agree view g with
         | Some v ->
-          let current_coin, coins, edges = inc_fields t view me in
+          let current_coin, coins, edges = inc_fields t scr view me in
+          release t scr;
           write t { pref = Some v; current_coin; coins; edges; ghost = 0 };
           loop ()
         | None -> (
           match my.pref with
           | Some _ ->
+            release t scr;
             write t { my with pref = None };
             loop ()
           | None -> (
             match t.mode with
             | Local_flips ->
               let v = R.flip () in
-              let current_coin, coins, edges = inc_fields t view me in
+              let current_coin, coins, edges = inc_fields t scr view me in
+              release t scr;
               write t { pref = Some v; current_coin; coins; edges; ghost = 0 };
               loop ()
             | Oracle_shared ->
               let v = oracle_value t t.raw_round.(me) in
-              let current_coin, coins, edges = inc_fields t view me in
+              let current_coin, coins, edges = inc_fields t scr view me in
+              release t scr;
               write t { pref = Some v; current_coin; coins; edges; ghost = 0 };
               loop ()
             | Shared_walk -> (
               match next_coin_value t g view me with
               | Undecided ->
+                release t scr;
                 let coins = flip_next_coin t view me in
                 write t { my with pref = None; coins };
                 t.coin_published.(me) <-
@@ -252,7 +335,8 @@ struct
                 loop ()
               | (Heads | Tails) as hv ->
                 let v = hv = Heads in
-                let current_coin, coins, edges = inc_fields t view me in
+                let current_coin, coins, edges = inc_fields t scr view me in
+                release t scr;
                 write t
                   { pref = Some v; current_coin; coins; edges; ghost = 0 };
                 loop ()))))

@@ -11,6 +11,9 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     k : int;
     threshold : int;
     mem : state Snap.t;
+    views : state array array;
+        (** per-pid scan buffers: slot [p] is refilled only by process
+            [p]'s own next scan, so a view survives [p]'s yields *)
     walk_count : int Atomic.t;
     max_round_seen : int Atomic.t;
     max_counter_mag : int Atomic.t;
@@ -22,10 +25,12 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
 
   let create ?(name = "ah88") ?(k = 2) ?(delta = 2) () =
     if k <= 0 || delta <= 0 then invalid_arg "Ah88.create";
+    let init = { pref = None; round = 0; coins = [||] } in
     {
       k;
       threshold = delta * R.n;
-      mem = Snap.create ~name ~init:{ pref = None; round = 0; coins = [||] } ();
+      mem = Snap.create ~name ~init ();
+      views = Array.init R.n (fun _ -> Array.make R.n init);
       walk_count = Atomic.make 0;
       max_round_seen = Atomic.make 0;
       max_counter_mag = Atomic.make 0;
@@ -45,22 +50,41 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
 
   let counter_for st r = if r < Array.length st.coins then st.coins.(r) else 0
 
+  (* [fold_left] with a closure capturing [r] allocated per call;
+     explicit loops keep the steady state allocation-free. *)
   let coin_sum view r =
-    Array.fold_left (fun acc st -> acc + counter_for st r) 0 view
+    let s = ref 0 in
+    for j = 0 to Array.length view - 1 do
+      s := !s + counter_for view.(j) r
+    done;
+    !s
 
-  let leaders view =
-    let mx = Array.fold_left (fun acc st -> max acc st.round) 0 view in
-    List.filter (fun j -> view.(j).round = mx) (List.init R.n Fun.id)
+  let max_round view =
+    let mx = ref 0 in
+    for j = 0 to Array.length view - 1 do
+      if view.(j).round > !mx then mx := view.(j).round
+    done;
+    !mx
 
-  let leaders_agree view ls =
-    match ls with
-    | [] -> None
-    | l0 :: rest -> (
-      match view.(l0).pref with
-      | None -> None
-      | Some v ->
-        if List.for_all (fun l -> view.(l).pref = Some v) rest then Some v
-        else None)
+  (* Leaders are the processes at the maximal round [mx]; the old
+     [List.init]+[List.filter] leader list is gone — this loop answers
+     "do all leaders carry the same non-⊥ preference" directly,
+     allocating only the final [Some].  [mx] is achieved by some
+     process, so the leader set is never empty. *)
+  let leaders_agree view mx =
+    let ok = ref true and have = ref false and agreed = ref false in
+    for j = 0 to Array.length view - 1 do
+      if !ok && view.(j).round = mx then
+        match view.(j).pref with
+        | None -> ok := false
+        | Some v ->
+          if not !have then begin
+            have := true;
+            agreed := v
+          end
+          else if v <> !agreed then ok := false
+    done;
+    if !ok && !have then Some !agreed else None
 
   let enter_round t me round =
     bump_max t.max_round_seen round;
@@ -70,15 +94,16 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
 
   let run t ~input =
     let me = R.pid () in
-    let view = Snap.scan t.mem in
+    let view = t.views.(me) in
+    Snap.scan_into t.mem view;
     let round, coins = inc view.(me) in
     Snap.write t.mem { pref = Some input; round; coins };
     enter_round t me round;
     let rec loop () =
-      let view = Snap.scan t.mem in
+      Snap.scan_into t.mem view;
       let my = view.(me) in
-      let ls = leaders view in
-      let is_leader = List.mem me ls in
+      let mx = max_round view in
+      let is_leader = my.round = mx in
       let can_decide =
         match my.pref with
         | None -> false
@@ -86,18 +111,20 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
           is_leader
           && (let ok = ref true in
               for j = 0 to R.n - 1 do
-                if
-                  j <> me
-                  && view.(j).pref <> Some v
-                  && my.round - view.(j).round < t.k
-                then ok := false
+                if j <> me then begin
+                  let agrees =
+                    match view.(j).pref with Some w -> w = v | None -> false
+                  in
+                  if (not agrees) && my.round - view.(j).round < t.k then
+                    ok := false
+                end
               done;
               !ok)
       in
       match my.pref with
       | Some v when can_decide -> v
       | _ -> (
-        match leaders_agree view ls with
+        match leaders_agree view mx with
         | Some v ->
           let round, coins = inc my in
           Snap.write t.mem { pref = Some v; round; coins };

@@ -5,6 +5,7 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
   type t = {
     width : int;
     board : int option Snap.t;  (** posted inputs *)
+    posted : int option array array;  (** per-pid board scan buffers *)
     stages : Bin.t array;  (** one binary instance per bit, MSB first *)
   }
 
@@ -14,6 +15,7 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     {
       width;
       board = Snap.create ~name:(name ^ ".board") ~init:None ();
+      posted = Array.init R.n (fun _ -> Array.make R.n None);
       stages =
         Array.init width (fun k ->
             Bin.create ~name:(Printf.sprintf "%s.bit%d" name k) ~params ());
@@ -21,24 +23,30 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
 
   let bit_of v k = (v lsr k) land 1 = 1
 
-  (* Bits agreed so far are [prefix] for positions [width-1 .. k+1]; a
-     posted value is a candidate when it matches all of them. *)
+  let matches_prefix t ~decided ~down_to v =
+    let ok = ref true in
+    for k = t.width - 1 downto down_to do
+      if bit_of v k <> decided.(k) then ok := false
+    done;
+    !ok
+
+  (* Bits agreed so far are [decided] for positions [width-1 .. down_to];
+     a posted value is a candidate when it matches all of them.  The
+     scan lands in the caller's per-pid buffer and the first matching
+     posted entry is returned as stored (the fold closure and its fresh
+     [Some] per comparison are gone). *)
   let matching_candidate t ~decided ~down_to =
-    let posted = Snap.scan t.board in
-    let matches v =
-      let ok = ref true in
-      for k = t.width - 1 downto down_to do
-        if bit_of v k <> decided.(k) then ok := false
-      done;
-      !ok
+    let posted = t.posted.(R.pid ()) in
+    Snap.scan_into t.board posted;
+    let n = Array.length posted in
+    let rec find i =
+      if i >= n then None
+      else
+        match posted.(i) with
+        | Some v when matches_prefix t ~decided ~down_to v -> posted.(i)
+        | _ -> find (i + 1)
     in
-    Array.fold_left
-      (fun acc p ->
-        match (acc, p) with
-        | Some _, _ -> acc
-        | None, Some v when matches v -> Some v
-        | None, _ -> None)
-      None posted
+    find 0
 
   let run t ~input =
     if input < 0 || input >= 1 lsl t.width then

@@ -38,9 +38,6 @@ let serialize observations =
   let sorted = List.stable_sort cmp observations in
   match !err with Some e -> Error e | None -> Ok sorted
 
-let graph_of ~k rows =
-  Bprc_strip.Edge_counters.to_graph (Bprc_strip.Edge_counters.of_rows ~k rows)
-
 let check ~k ~n observations =
   match serialize observations with
   | Error e -> Error e
@@ -51,14 +48,23 @@ let check ~k ~n observations =
     let err = ref None in
     let max_seen = ref 0 in
     let count = ref 0 in
+    (* One scratch counter matrix and graph, refilled per scan — the
+       checker decodes the way the protocol's [_into] hot path does.
+       The error messages reaching the [undecodable] report are the
+       same strings the fresh [of_rows]/[to_graph] path raised. *)
+    let ec = Bprc_strip.Edge_counters.create ~k ~n in
+    let g = Bprc_strip.Distance_graph.create_scratch ~k ~n in
     List.iter
       (fun ob ->
         if !err = None then begin
           incr count;
-          match graph_of ~k ob.rows with
+          match
+            Bprc_strip.Edge_counters.set_rows ec ob.rows;
+            Bprc_strip.Edge_counters.to_graph_into ec g
+          with
           | exception Invalid_argument msg ->
             err := Some ("undecodable edge state: " ^ msg)
-          | g ->
+          | () ->
             let moved j =
               match !prev_rows with
               | None -> not (Array.for_all (( = ) 0) ob.rows.(j))

@@ -1,26 +1,47 @@
-type t = { mutable state : int64 }
+(* The generator state is 8 bytes of [Bytes.t], read and written with
+   the fixed-width little-endian accessors, not a [{ mutable state :
+   int64 }] record: a mutable [int64] record field holds a pointer to a
+   boxed value, so every state update of the record form allocates a
+   fresh box (and every cross-function [next64] result another) — ~6
+   minor words per draw, which the random scheduler pays once per
+   simulated step.  The byte-buffer store is unboxed, and with the
+   arithmetic chain inlined ([@inline] on [mix64]/[next64]) a draw
+   allocates nothing.  The arithmetic itself is unchanged bit for bit,
+   so every seeded stream — and every pinned digest derived from one —
+   is identical to the record-based implementation's. *)
+
+type t = Bytes.t
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let mix64 z =
+let[@inline] mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ~seed = { state = mix64 (Int64.of_int seed) }
+let[@inline] get t = Bytes.get_int64_le t 0
+let[@inline] set t v = Bytes.set_int64_le t 0 v
 
-let copy t = { state = t.state }
-let reseed t ~seed = t.state <- mix64 (Int64.of_int seed)
-let assign t ~of_ = t.state <- of_.state
+let of_state s =
+  let b = Bytes.create 8 in
+  set b s;
+  b
 
-let next64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+let create ~seed = of_state (mix64 (Int64.of_int seed))
+
+let copy t = Bytes.sub t 0 8
+let reseed t ~seed = set t (mix64 (Int64.of_int seed))
+let assign t ~of_ = Bytes.blit of_ 0 t 0 8
+
+let[@inline] next64 t =
+  let s = Int64.add (get t) golden_gamma in
+  set t s;
+  mix64 s
 
 let bits30 t = Int64.to_int (Int64.shift_right_logical (next64 t) 34)
 
 (* The rejection loops are top-level (not closures over the bound) so a
-   draw allocates nothing beyond the boxed int64 state update. *)
+   draw allocates nothing. *)
 let rec draw_narrow t limit bound =
   let r = bits30 t in
   if r < limit then r mod bound else draw_narrow t limit bound
@@ -54,15 +75,13 @@ let float t =
   let r = Int64.to_int (Int64.shift_right_logical (next64 t) 11) in
   float_of_int r *. (1.0 /. 9007199254740992.0)
 
-let split t =
-  let s = next64 t in
-  { state = mix64 s }
+let split t = of_state (mix64 (next64 t))
 
 let fork t i =
-  let s = Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) 0xC2B2AE3D27D4EB4FL) in
-  { state = mix64 s }
+  of_state
+    (mix64 (Int64.add (get t) (Int64.mul (Int64.of_int (i + 1)) 0xC2B2AE3D27D4EB4FL)))
 
 let reseed_fork t ~seed i =
   let master = mix64 (Int64.of_int seed) in
-  t.state <-
-    mix64 (Int64.add master (Int64.mul (Int64.of_int (i + 1)) 0xC2B2AE3D27D4EB4FL))
+  set t
+    (mix64 (Int64.add master (Int64.mul (Int64.of_int (i + 1)) 0xC2B2AE3D27D4EB4FL)))

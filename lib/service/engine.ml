@@ -33,6 +33,7 @@ type stats = {
   max_in_flight : int;
   busy_s : float;
   decisions_per_sec : float;
+  minor_words_per_instance : float;
   lat_p50_s : float;
   lat_p99_s : float;
   rounds_hist : (int * int) list;
@@ -74,6 +75,7 @@ type t = {
   mutable incomplete : int;
   mutable max_in_flight : int;
   mutable busy_s : float;
+  mutable minor_words : float;  (* banked around dispatch, all domains *)
   mutable closed : bool;
 }
 
@@ -108,6 +110,7 @@ let create ?(mode = Deterministic) ?(seed = 1) ?(in_flight_cap = 1024) ?batch
     incomplete = 0;
     max_in_flight = 0;
     busy_s = 0.0;
+    minor_words = 0.0;
     closed = false;
   }
 
@@ -221,8 +224,18 @@ let dispatch t =
   if k > 0 then begin
     let items = Array.init k (fun _ -> Queue.pop t.pending) in
     let t0 = Unix.gettimeofday () in
+    (* Bank the allocation of the round across all domains: the
+       driving domain's own minor words plus the helpers' banked
+       counters ({!Pool.helper_minor_words} is read between jobs, from
+       this domain, so the deltas are exact). *)
+    let h0 = Pool.helper_minor_words t.pool in
+    let m0 = Gc.minor_words () in
     let out = Pool.map t.pool k (fun i -> run_instance t items.(i)) in
     t.busy_s <- t.busy_s +. (Unix.gettimeofday () -. t0);
+    t.minor_words <-
+      t.minor_words
+      +. (Gc.minor_words () -. m0)
+      +. (Pool.helper_minor_words t.pool -. h0);
     Array.iter
       (fun d ->
         account t d;
@@ -275,6 +288,9 @@ let stats t =
     busy_s = t.busy_s;
     decisions_per_sec =
       (if t.busy_s > 0.0 then float_of_int t.decided_n /. t.busy_s else nan);
+    minor_words_per_instance =
+      (if t.decided_n > 0 then t.minor_words /. float_of_int t.decided_n
+       else nan);
     lat_p50_s = Stats.Ring.p50 t.lat;
     lat_p99_s = Stats.Ring.p99 t.lat;
     rounds_hist;

@@ -61,6 +61,11 @@ type stats = {
   max_in_flight : int;  (** high-water mark of [in_flight] *)
   busy_s : float;  (** wall time inside batch dispatch *)
   decisions_per_sec : float;  (** [decided /. busy_s]; [nan] before any *)
+  minor_words_per_instance : float;
+      (** minor heap words allocated per decided instance, banked over
+          every dispatch round across the driving domain and all pool
+          helpers — the service-level allocation-regression gauge
+          ([nan] before any instance decided) *)
   lat_p50_s : float;  (** [nan] in {!Deterministic} mode / before data *)
   lat_p99_s : float;  (** likewise *)
   rounds_hist : (int * int) list;

@@ -20,13 +20,6 @@
 module Make (_ : Bprc_runtime.Runtime_intf.S) : sig
   include Snapshot_intf.S
 
-  val scan_into : 'a t -> 'a array -> unit
-  (** [scan_into t out] is {!scan} writing the view into the
-      caller-supplied [out] (length [n]) instead of allocating one:
-      repeated scans by a process that reuses its buffer allocate
-      nothing beyond the simulator's per-step cost.
-      @raise Invalid_argument when [Array.length out <> n]. *)
-
   val borrows : 'a t -> int
   (** Scans resolved by borrowing an embedded view so far. *)
 

@@ -66,9 +66,15 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     t.my_value.(me) <- v;
     R.write t.values.(me) { value = v; toggle }
 
-  let scan t =
+  (* The register reads/writes and their order are exactly [scan]'s of
+     the pre-rewrite implementation; only the final materialization of
+     the view changed from [Array.init] to filling [out], so a process
+     that reuses a per-pid view buffer scans without allocating. *)
+  let scan_into t out =
     let me = R.pid () in
     let n = R.n in
+    if Array.length out <> n then
+      invalid_arg "Handshake.scan_into: view buffer must have length n";
     let v1 = t.v1.(me) and v2 = t.v2.(me) in
     let rec attempt () =
       for j = 0 to n - 1 do
@@ -93,10 +99,16 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
         attempt ()
       end
       else
-        Array.init n (fun j ->
-            if j = me then t.my_value.(me) else v2.(j).value)
+        for j = 0 to n - 1 do
+          out.(j) <- (if j = me then t.my_value.(me) else v2.(j).value)
+        done
     in
     attempt ()
+
+  let scan t =
+    let out = Array.make R.n t.my_value.(R.pid ()) in
+    scan_into t out;
+    out
 
   let scan_retries t = t.retries
 

@@ -74,6 +74,14 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     in
     attempt ()
 
+  (* The frozen oracle stays allocating: [scan_into] is a wrapper so
+     the module keeps satisfying [Snapshot_intf.S]. *)
+  let scan_into t out =
+    if Array.length out <> R.n then
+      invalid_arg "Handshake_ref.scan_into: view buffer must have length n";
+    let v = scan t in
+    Array.blit v 0 out 0 R.n
+
   let scan_retries t = t.retries
 
   let space ~value_bits _t =

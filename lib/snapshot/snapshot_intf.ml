@@ -31,6 +31,14 @@ module type S = sig
       process's own component is its own latest write (known locally,
       as in the paper). *)
 
+  val scan_into : 'a t -> 'a array -> unit
+  (** [scan_into t out] is {!scan} writing the view into the
+      caller-supplied [out] (length [n]) instead of allocating one —
+      the protocol layer's steady-state path: each process reuses a
+      per-pid view buffer across rounds so a scan allocates nothing.
+      Same register operations, in the same order, as {!scan}.
+      @raise Invalid_argument when [Array.length out <> n]. *)
+
   val scan_retries : 'a t -> int
   (** Cumulative number of scan restarts over the object's lifetime
       (contention probe for experiment E7). *)

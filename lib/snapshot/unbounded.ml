@@ -49,6 +49,14 @@ module Make (R : Bprc_runtime.Runtime_intf.S) = struct
     in
     attempt (collect ())
 
+  (* The unbounded baseline is a comparison point, not a hot path:
+     [scan_into] wraps the allocating [scan]. *)
+  let scan_into t out =
+    if Array.length out <> R.n then
+      invalid_arg "Unbounded.scan_into: view buffer must have length n";
+    let v = scan t in
+    Array.blit v 0 out 0 R.n
+
   let scan_retries t = t.retries
 
   let max_seq t = Array.fold_left max 0 t.my_seq

@@ -23,11 +23,31 @@ type t = {
   kk : int;
   w : int array;  (** [w.(i*nn + j)]: edge weight, or [absent] *)
   mutable pos : positions;
+  (* Reconstruction scratch, lazily allocated on the first
+     [reconstruct] and reused across refills of the same graph: a
+     scratch graph on the protocol decision path reconstructs once per
+     scan without allocating. *)
+  mutable rank : int array;
+  mutable order : int array;
+  mutable count : int array;  (** counting-sort histogram *)
+  mutable posbuf : int array;  (** backs the cached [Pos] candidate *)
 }
 
 let n t = t.nn
 let k t = t.kk
 let unsafe_w t i j = Array.unsafe_get t.w ((i * t.nn) + j)
+
+let make ~k ~n w =
+  {
+    nn = n;
+    kk = k;
+    w;
+    pos = Unknown;
+    rank = [||];
+    order = [||];
+    count = [||];
+    posbuf = [||];
+  }
 
 let of_positions ~k pos =
   let nn = Array.length pos in
@@ -38,7 +58,7 @@ let of_positions ~k pos =
         w.((i * nn) + j) <- min (pos.(i) - pos.(j)) k
     done
   done;
-  { nn; kk = k; w; pos = Unknown }
+  make ~k ~n:nn w
 
 let of_weights ~k ~present ~weight ~n =
   let w = Array.make (n * n) absent in
@@ -47,7 +67,17 @@ let of_weights ~k ~present ~weight ~n =
       if i <> j && present i j then w.((i * n) + j) <- weight i j
     done
   done;
-  { nn = n; kk = k; w; pos = Unknown }
+  make ~k ~n w
+
+(* --- scratch-graph plumbing (the [_into] decode path) -------------- *)
+
+let create_scratch ~k ~n =
+  if k <= 0 || n <= 0 then invalid_arg "Distance_graph.create_scratch";
+  make ~k ~n (Array.make (n * n) absent)
+
+let invalidate t = t.pos <- Unknown
+let set_edge t i j d = t.w.((i * t.nn) + j) <- d
+let clear_edge t i j = t.w.((i * t.nn) + j) <- absent
 
 let edge t i j = t.w.((i * t.nn) + j) <> absent
 
@@ -64,18 +94,54 @@ let weight t i j =
    summing the adjacent capped gaps, then verify the candidate against
    every pair — any graph that passes answers all max-path queries
    positionally, any graph that fails keeps the relaxation fallback.
-   O(n^2), amortized over every query on the same graph. *)
+   O(n^2), amortized over every query on the same graph.
+
+   The scratch arrays ([rank]/[order]/[count]/[posbuf]) are allocated
+   once per graph and reused on every refill, so a steady-state
+   reconstruct allocates nothing.  The ordering is a counting sort by
+   rank (rank values lie in [0, n-1]); it can break rank ties
+   differently than the [Array.sort] it replaces, which is immaterial:
+   tied tokens share a position, so tie order only changes which
+   representative anchors the next gap, and the verification pass
+   accepts a candidate only when it reproduces [t] exactly — any two
+   verified candidates answer every query identically (adjacent gaps
+   are <= k, making positional distances equal the relaxation's). *)
+let ensure_scratch t =
+  if Array.length t.rank <> t.nn then begin
+    t.rank <- Array.make t.nn 0;
+    t.order <- Array.make t.nn 0;
+    t.count <- Array.make t.nn 0;
+    t.posbuf <- Array.make t.nn 0
+  end
+
 let reconstruct t =
   let nn = t.nn in
-  let rank = Array.make nn 0 in
+  ensure_scratch t;
+  let rank = t.rank in
+  Array.fill rank 0 nn 0;
   for i = 0 to nn - 1 do
     for j = 0 to nn - 1 do
       if i <> j && unsafe_w t i j <> absent then rank.(i) <- rank.(i) + 1
     done
   done;
-  let order = Array.init nn Fun.id in
-  Array.sort (fun a b -> compare rank.(a) rank.(b)) order;
-  let pos = Array.make nn 0 in
+  let order = t.order and count = t.count in
+  Array.fill count 0 nn 0;
+  for i = 0 to nn - 1 do
+    count.(rank.(i)) <- count.(rank.(i)) + 1
+  done;
+  let acc = ref 0 in
+  for r = 0 to nn - 1 do
+    let c = count.(r) in
+    count.(r) <- !acc;
+    acc := !acc + c
+  done;
+  for i = 0 to nn - 1 do
+    let r = rank.(i) in
+    order.(count.(r)) <- i;
+    count.(r) <- count.(r) + 1
+  done;
+  let pos = t.posbuf in
+  Array.fill pos 0 nn 0;
   let ok = ref true in
   for s = 1 to nn - 1 do
     let cur = order.(s) and prev = order.(s - 1) in
@@ -113,6 +179,9 @@ let positions t =
     p
   | p -> p
 
+let reconstruct_into t =
+  match positions t with Pos _ -> true | Unknown | Inconsistent -> false
+
 (* --- fallback: the original relaxation algorithms, verbatim ------- *)
 
 (* Longest-walk relaxation from source [i].  With no positive cycles,
@@ -139,6 +208,17 @@ let dist t i j =
     let d = (dist_from t i).(j) in
     if d = min_int then None else Some d
 
+(* [dist] without the option box: the protocol's trails-by-K test runs
+   it once per pair per scan, so the positional path must not allocate.
+   The fallback allocates its relaxation array exactly as [dist] does —
+   it never fires on graphs decoded from real counter states. *)
+let dist_ge t i j b =
+  match positions t with
+  | Pos p -> p.(i) >= p.(j) && p.(i) - p.(j) >= b
+  | Unknown | Inconsistent ->
+    let d = (dist_from t i).(j) in
+    d <> min_int && d >= b
+
 let on_max_path t j i =
   let wji = t.w.((j * t.nn) + i) in
   if wji = absent then false
@@ -159,17 +239,52 @@ let on_max_path t j i =
       in
       try_src 0
 
-let leaders t =
-  let is_leader i =
-    let ok = ref true in
-    for j = 0 to t.nn - 1 do
-      if j <> i && not (edge t i j) then ok := false
-    done;
-    !ok
-  in
-  List.filter is_leader (List.init t.nn Fun.id)
+(* Index loops instead of the old [List.init |> List.filter] pair: the
+   protocol asks "am I a leader?" and "do all leaders agree?" once per
+   scan, and neither question needs a list. *)
+(* A while loop, not an inner recursive function: the closure for the
+   latter captures [t] and [i] and so allocates on every call, which
+   the scan-path alloc tests would charge to the protocol. *)
+let is_leader t i =
+  let ok = ref true in
+  let j = ref 0 in
+  while !ok && !j < t.nn do
+    if !j <> i && unsafe_w t i !j = absent then ok := false;
+    incr j
+  done;
+  !ok
 
-let copy t = { t with w = Array.copy t.w }
+let leaders_into t out =
+  if Array.length out < t.nn then
+    invalid_arg "Distance_graph.leaders_into: buffer shorter than n";
+  let c = ref 0 in
+  for i = 0 to t.nn - 1 do
+    if is_leader t i then begin
+      out.(!c) <- i;
+      incr c
+    end
+  done;
+  !c
+
+let leaders t =
+  let acc = ref [] in
+  for i = t.nn - 1 downto 0 do
+    if is_leader t i then acc := i :: !acc
+  done;
+  !acc
+
+(* The copy must not share the reconstruction scratch: a later refill
+   of [t] would silently clobber the copy's cached positions. *)
+let copy t =
+  {
+    t with
+    w = Array.copy t.w;
+    pos = (match t.pos with Pos p -> Pos (Array.copy p) | p -> p);
+    rank = [||];
+    order = [||];
+    count = [||];
+    posbuf = [||];
+  }
 
 let inc t i =
   match positions t with

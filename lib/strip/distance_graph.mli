@@ -35,6 +35,11 @@ val dist : t -> int -> int -> int option
     connected components and longest-path DP over the resulting DAG
     (sound because valid graphs have no positive cycles). *)
 
+val dist_ge : t -> int -> int -> int -> bool
+(** [dist_ge t i j b] is [dist t i j >= Some b] without allocating the
+    option: [true] iff [j] is reachable from [i] with max path weight
+    at least [b].  The protocol's per-scan trails-by-K test. *)
+
 val on_max_path : t -> int -> int -> bool
 (** [on_max_path t j i]: does edge [(j,i)] lie on some maximum-weight
     path into [i] — equivalently, is its weight {e tight}
@@ -43,7 +48,21 @@ val on_max_path : t -> int -> int -> bool
 
 val leaders : t -> int list
 (** Processes [i] with an edge to every other process (the maximal
-    tokens). *)
+    tokens).  Built by an index loop (no intermediate lists), but the
+    result list still allocates: hot callers should use {!is_leader} /
+    {!leaders_into} instead; this form is kept for tests and the
+    checker.  {!Distance_graph_ref.leaders} is the differential
+    oracle. *)
+
+val is_leader : t -> int -> bool
+(** [is_leader t i]: does [i] have an edge to every other process?
+    Allocation-free; [leaders t = List.filter (is_leader t) [0..n-1]]. *)
+
+val leaders_into : t -> int array -> int
+(** [leaders_into t out] writes the leaders in ascending order into
+    [out] and returns how many there are — the allocation-free
+    counterpart of {!leaders} for callers that own a reusable buffer.
+    @raise Invalid_argument when [Array.length out < n t]. *)
 
 val inc : t -> int -> t
 (** The paper's abstract [inc(i, G)] transformation: token [i] moved
@@ -57,3 +76,38 @@ val total_order_consistent : t -> bool
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {2 Scratch-graph plumbing (the [_into] decode path)}
+
+    A scratch graph is one [t] refilled in place once per protocol scan
+    instead of allocated per decode: {!Edge_counters.to_graph_into}
+    clears/sets every off-diagonal edge and calls {!invalidate}, after
+    which the graph is indistinguishable from a fresh
+    {!of_weights} decode of the same data — queries, including the
+    cached position reconstruction (which reuses per-graph
+    rank/order/pos scratch arrays), answer identically.  The
+    differential tests pin refilled-vs-fresh equality.  A refill
+    clobbers every previous answer derived from the graph; callers must
+    not hold on to a scratch graph across refills. *)
+
+val create_scratch : k:int -> n:int -> t
+(** An edgeless graph to refill via {!set_edge}/{!clear_edge}.
+    @raise Invalid_argument when [k <= 0 || n <= 0]. *)
+
+val set_edge : t -> int -> int -> int -> unit
+(** [set_edge t i j w]: make edge [(i,j)] weigh [w].  Refill plumbing:
+    no validation, no cache invalidation — callers must {!invalidate}
+    once per refill.  Diagonal entries must never be set. *)
+
+val clear_edge : t -> int -> int -> unit
+(** Remove edge [(i,j)] (same contract as {!set_edge}). *)
+
+val invalidate : t -> unit
+(** Drop the cached position reconstruction; call once per refill
+    (before or after the edge writes, but before any query). *)
+
+val reconstruct_into : t -> bool
+(** Force the position reconstruction now, into the graph's reused
+    scratch arrays; [true] iff the graph is positional (the O(1)/O(n)
+    query fast path applies).  Queries call this lazily — the explicit
+    form exists for allocation tests and benchmarks. *)

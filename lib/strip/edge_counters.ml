@@ -25,10 +25,42 @@ let of_rows ~k rows =
   Array.iteri (fun i r -> Array.blit r 0 e (i * n) n) rows;
   { kk = k; nn = n; e }
 
+(* In-place adoption of scanned rows: the validation and the stored
+   matrix are exactly [of_rows]'s (same error messages on bad input),
+   minus the fresh allocation — one scratch [t] per protocol instance
+   absorbs a view per scan. *)
+let set_row t i r =
+  if i < 0 || i >= t.nn then invalid_arg "Edge_counters.set_row: no such row";
+  if Array.length r <> t.nn then
+    invalid_arg "Edge_counters.of_rows: not square";
+  for j = 0 to t.nn - 1 do
+    if r.(j) < 0 || r.(j) >= 3 * t.kk then
+      invalid_arg "Edge_counters.of_rows: counter out of range"
+  done;
+  Array.blit r 0 t.e (i * t.nn) t.nn
+
+let set_rows t rows =
+  if Array.length rows <> t.nn then
+    invalid_arg "Edge_counters.of_rows: not square";
+  for i = 0 to t.nn - 1 do
+    set_row t i rows.(i)
+  done
+
 let k t = t.kk
 let n t = t.nn
 let row t i = Array.sub t.e (i * t.nn) t.nn
 let rows t = Array.init t.nn (fun i -> row t i)
+let get t i j =
+  if i < 0 || i >= t.nn || j < 0 || j >= t.nn then
+    invalid_arg "Edge_counters.get: index out of range";
+  Array.unsafe_get t.e ((i * t.nn) + j)
+
+let iter_rows t f =
+  for i = 0 to t.nn - 1 do
+    for j = 0 to t.nn - 1 do
+      f i j (Array.unsafe_get t.e ((i * t.nn) + j))
+    done
+  done
 
 let decode_pair t i j =
   let m = 3 * t.kk in
@@ -56,8 +88,30 @@ let to_graph t =
   in
   Distance_graph.of_weights ~k:t.kk ~present ~weight ~n:t.nn
 
-let inc_row t i =
-  let g = to_graph t in
+(* [to_graph] decoded into a caller-owned scratch graph: same validity
+   check (and error message), same resulting edge set — a pair decodes
+   to a present edge exactly when [a <= K], with weight [a] — but the
+   fill is explicit loops over set/clear, so a steady-state decode
+   allocates nothing. *)
+let to_graph_into t g =
+  if Distance_graph.n g <> t.nn || Distance_graph.k g <> t.kk then
+    invalid_arg "Edge_counters.to_graph_into: scratch graph shape mismatch";
+  if not (valid t) then invalid_arg "Edge_counters.to_graph: undecodable state";
+  Distance_graph.invalidate g;
+  for i = 0 to t.nn - 1 do
+    for j = 0 to t.nn - 1 do
+      if i <> j then begin
+        let a = decode_pair t i j in
+        if a <= t.kk then Distance_graph.set_edge g i j a
+        else Distance_graph.clear_edge g i j
+      end
+    done
+  done
+
+let inc_row_with t ~graph i =
+  if Distance_graph.n graph <> t.nn || Distance_graph.k graph <> t.kk then
+    invalid_arg "Edge_counters.inc_row_with: graph shape mismatch";
+  let g = graph in
   let fresh = row t i in
   for j = 0 to t.nn - 1 do
     if j <> i then begin
@@ -69,5 +123,7 @@ let inc_row t i =
     end
   done;
   fresh
+
+let inc_row t i = inc_row_with t ~graph:(to_graph t) i
 
 let apply_inc t i = Array.blit (inc_row t i) 0 t.e (i * t.nn) t.nn

@@ -26,14 +26,38 @@ val of_rows : k:int -> int array array -> t
     @raise Invalid_argument if the matrix is not square or an entry is
     outside [[0, 3K)]. *)
 
+val set_rows : t -> int array array -> unit
+(** [of_rows] in place: adopt the rows into an existing (scratch) [t],
+    with the identical validation and error messages, allocating
+    nothing.  One scratch counter object per protocol instance absorbs
+    a scanned view per round. *)
+
+val set_row : t -> int -> int array -> unit
+(** Adopt a single row (validated like {!set_rows}) — lets a caller
+    holding per-process row arrays fill the scratch without assembling
+    a row matrix first.
+    @raise Invalid_argument on a bad row index, length or entry. *)
+
 val k : t -> int
 val n : t -> int
 
 val row : t -> int -> int array
-(** Copy of row [i]. *)
+(** Copy of row [i].  Allocates; tests/debug only — hot callers use
+    {!get}/{!iter_rows}. *)
 
 val rows : t -> int array array
-(** Copy of the whole matrix. *)
+(** Copy of the whole matrix.  Allocates a fresh matrix per call;
+    kept for tests and debugging only — hot callers use
+    {!get}/{!iter_rows}. *)
+
+val get : t -> int -> int -> int
+(** [get t i j]: the counter at [(i,j)], allocation-free.
+    @raise Invalid_argument when an index is outside [[0, n)]. *)
+
+val iter_rows : t -> (int -> int -> int -> unit) -> unit
+(** [iter_rows t f] calls [f i j (get t i j)] for every entry in
+    row-major order — the allocation-free traversal backing what
+    {!rows} is for in tests. *)
 
 val decode_pair : t -> int -> int -> int
 (** The raw cyclic difference [a] for the ordered pair (see above). *)
@@ -43,6 +67,23 @@ val valid : t -> bool
 
 val to_graph : t -> Distance_graph.t
 (** @raise Invalid_argument when {!valid} is false. *)
+
+val to_graph_into : t -> Distance_graph.t -> unit
+(** [to_graph] decoded into a caller-owned scratch graph (built with
+    {!Distance_graph.create_scratch} at the same [k]/[n]): every
+    off-diagonal edge is set or cleared and the graph's cached
+    reconstruction invalidated, after which the scratch answers every
+    query exactly as a fresh [to_graph t] would — allocating nothing.
+    @raise Invalid_argument when {!valid} is false (same message as
+    {!to_graph}) or on a scratch-shape mismatch. *)
+
+val inc_row_with : t -> graph:Distance_graph.t -> int -> int array
+(** {!inc_row} against a caller-supplied decode of [t] — the scratch
+    graph just refilled by {!to_graph_into} — so the hot path decodes
+    once per scan instead of once more per increment.  The returned row
+    is fresh (it is published to shared memory and must not alias the
+    scratch).
+    @raise Invalid_argument on a graph shape mismatch. *)
 
 val inc_row : t -> int -> int array
 (** The new row for process [i] per [inc_graph]; pure. *)

@@ -53,16 +53,18 @@ timing lines differ, so mask them:
   rounds      : 1x1 20x2 29x3
   digest      : bcfdce3abcd7e683d558ce3f4ed5b62c
 
-The JSON report: timing fields masked, everything else pinned —
-including that deterministic mode reports its latency percentiles as
+The JSON report: timing and allocation fields masked (the minor-words
+gauge is exact but compiler-version-dependent), everything else pinned
+— including that deterministic mode reports its latency percentiles as
 null (no wall-clock data exists to aggregate).
 
   $ $BPRC serve-bench -n 3 --instances 50 --in-flight 16 --workers 2 \
   >   --seed 9 --mode det --json \
   >   | sed -e 's/"wall_s":[0-9.e-]*/"wall_s":0/' \
   >         -e 's/"busy_s":[0-9.e-]*/"busy_s":0/' \
-  >         -e 's/"decisions_per_sec":[0-9.e-]*/"decisions_per_sec":0/'
-  {"kind":"bprc-serve-report","version":1,"mode":"deterministic","workers":2,"n":3,"algo":"ADS89 (bounded shared coin)","sched":"random","seed":9,"instances":50,"in_flight_cap":16,"submitted":50,"overloaded":34,"decided":50,"delivered":50,"violations":0,"incomplete":0,"max_in_flight":16,"wall_s":0,"busy_s":0,"decisions_per_sec":0,"lat_p50_s":null,"lat_p99_s":null,"rounds_hist":[{"rounds":1,"count":1},{"rounds":2,"count":20},{"rounds":3,"count":29}],"decisions_digest":"bcfdce3abcd7e683d558ce3f4ed5b62c"}
+  >         -e 's/"decisions_per_sec":[0-9.e-]*/"decisions_per_sec":0/' \
+  >         -e 's/"minor_words_per_instance":[0-9.e-]*/"minor_words_per_instance":0/'
+  {"kind":"bprc-serve-report","version":1,"mode":"deterministic","workers":2,"n":3,"algo":"ADS89 (bounded shared coin)","sched":"random","seed":9,"instances":50,"in_flight_cap":16,"submitted":50,"overloaded":34,"decided":50,"delivered":50,"violations":0,"incomplete":0,"max_in_flight":16,"wall_s":0,"busy_s":0,"decisions_per_sec":0,"minor_words_per_instance":0,"lat_p50_s":null,"lat_p99_s":null,"rounds_hist":[{"rounds":1,"count":1},{"rounds":2,"count":20},{"rounds":3,"count":29}],"decisions_digest":"bcfdce3abcd7e683d558ce3f4ed5b62c"}
 
 Bad numeric arguments are refused with exit 2; a malformed --mode is
 a cmdliner parse error, exit 124 like everywhere else in the CLI:

@@ -198,6 +198,36 @@ let test_bounded_par_smoke () =
   let results = Par.run ~runtime:rt ~n:4 (fun _ _ -> C.flip coin) in
   Alcotest.(check int) "all decided" 4 (Array.length results)
 
+let test_bounded_walk_step_alloc_bounded () =
+  (* Steady-state allocation ceiling for the walk loop: opposed
+     deterministic flips (pid 0 always +1, pid 1 always -1) keep the
+     published walk value inside the barrier, and a huge [m] keeps the
+     overflow escape out of reach, so a bounded run is pure steady
+     state — scan into the per-pid view buffer, sum, flip, write —
+     until it hits the step limit.  Per simulator step that is the
+     scheduler's effect cost plus the handshake write cell, nothing
+     proportional to the round count: the old allocating scan showed
+     up here as an extra view array per scan. *)
+  let n = 2 in
+  let max_steps = 60_000 in
+  let sim =
+    Sim.create ~seed:21 ~max_steps ~n ~adversary:(Adversary.round_robin ()) ()
+  in
+  let module C = Bounded_walk.Make ((val Sim.runtime sim)) in
+  let coin = C.create_custom ~delta:2 ~m:1_000_000 ~seed:21 () in
+  Sim.set_flip_source sim (fun ~pid -> pid = 0);
+  let _ = Array.init n (fun _ -> Sim.spawn sim (fun () -> C.flip coin)) in
+  Gc.full_major ();
+  let m0 = Gc.minor_words () in
+  (match Sim.run sim with
+  | Sim.Hit_step_limit -> ()
+  | Sim.Completed -> Alcotest.fail "opposed flips must not decide");
+  let dw = Gc.minor_words () -. m0 in
+  let per = dw /. float_of_int (Sim.clock sim) in
+  Alcotest.(check bool)
+    (Printf.sprintf "walk minor words/sim step %.2f <= 6" per)
+    true (per <= 6.0)
+
 let suite =
   [
     Alcotest.test_case "bounded: singleton decides" `Quick
@@ -208,6 +238,8 @@ let suite =
     Alcotest.test_case "bounded: deterministic" `Quick test_bounded_determinism;
     Alcotest.test_case "bounded: param validation" `Quick
       test_bounded_rejects_bad_params;
+    Alcotest.test_case "bounded: walk-step allocation ceiling" `Quick
+      test_bounded_walk_step_alloc_bounded;
     Alcotest.test_case "bounded: overflow escape" `Quick
       test_bounded_overflow_escape;
     Alcotest.test_case "bounded: overflow deterministic heads" `Quick

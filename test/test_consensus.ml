@@ -491,3 +491,52 @@ let fuzz_suite =
   ]
 
 let suite = suite @ fuzz_suite
+
+(* --- Allocation regression: the protocol decision path ----------------- *)
+
+(* Steady-state minor words per decision for the full ADS89 stack —
+   scan-into view buffers, scratch counter/graph decode, reused
+   simulator arena — over repeated instances at n=4.  The arena is
+   reused via [~sim] so the gauge reads the protocol path, not
+   simulator construction.  Before the scratch rework this measured in
+   the tens of thousands of words per decision; the ceiling pins the
+   reworked order of magnitude without being flaky about the exact
+   constant (rounds per instance vary with the seed). *)
+let test_ads89_words_per_decision_bounded () =
+  let module Run = Bprc_harness.Run in
+  let n = 4 in
+  let max_steps = 3_000_000 in
+  let sim =
+    Sim.create ~seed:1 ~max_steps ~n ~adversary:(Adversary.round_robin ()) ()
+  in
+  let run seed =
+    Run.consensus_once ~sim ~max_steps
+      ~algo:(Run.Ads Ads89.Shared_walk)
+      ~pattern:Run.Random_inputs ~n ~seed ()
+  in
+  for s = 1 to 5 do
+    ignore (run s)
+  done;
+  Gc.full_major ();
+  let batch = 40 in
+  let decisions = ref 0 in
+  let m0 = Gc.minor_words () in
+  for s = 1 to batch do
+    let r = run (100 + s) in
+    if not r.Run.completed then Alcotest.fail "instance did not complete";
+    Array.iter
+      (function Some _ -> incr decisions | None -> ())
+      r.Run.decisions
+  done;
+  let per = (Gc.minor_words () -. m0) /. float_of_int !decisions in
+  Alcotest.(check bool)
+    (Printf.sprintf "ads89 minor words/decision %.0f <= 2500" per)
+    true (per <= 2500.0)
+
+let alloc_suite =
+  [
+    Alcotest.test_case "alloc: ads89 words/decision ceiling" `Quick
+      test_ads89_words_per_decision_bounded;
+  ]
+
+let suite = suite @ alloc_suite

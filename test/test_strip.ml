@@ -542,7 +542,16 @@ let max_path_queries_agree ~ctx ?pairs g gr r =
       check_pair (Bprc_rng.Splitmix.int r n, Bprc_rng.Splitmix.int r n)
     done);
   let l = Distance_graph.leaders g and lr = Distance_graph_ref.leaders gr in
-  if l <> lr then Alcotest.failf "%s: leaders disagree" ctx
+  if l <> lr then Alcotest.failf "%s: leaders disagree" ctx;
+  (* The allocation-free leader forms must agree with the list form. *)
+  for i = 0 to n - 1 do
+    if Distance_graph.is_leader g i <> List.mem i l then
+      Alcotest.failf "%s: is_leader %d disagrees with leaders" ctx i
+  done;
+  let buf = Array.make n (-1) in
+  let cnt = Distance_graph.leaders_into g buf in
+  if Array.to_list (Array.sub buf 0 cnt) <> l then
+    Alcotest.failf "%s: leaders_into disagrees with leaders" ctx
 
 let counters_agree ~ctx flat refc =
   let n = Edge_counters.n flat in
@@ -757,4 +766,151 @@ let suite =
         test_diff_graph_arbitrary;
       Alcotest.test_case "diff: position graphs (fast path)" `Quick
         test_diff_graph_positions;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: the [_into] scratch decode path vs fresh decodes      *)
+(* ------------------------------------------------------------------ *)
+
+(* One scratch counter object + one scratch graph reused across every
+   iteration, fed stale-mixed scanned rows exactly like
+   [test_diff_counters_stale_views]; every observable of the refilled
+   scratch must match both a fresh flat decode and the frozen
+   reference.  This is the shape of the protocol decision path after
+   the allocation rework: set_rows -> to_graph_into -> queries ->
+   inc_row_with, with nothing surviving from the previous round. *)
+let diff_into_walk ~k ~n ~steps ~seed ~sample =
+  let r = rng seed in
+  let live = Edge_counters_ref.create ~k ~n in
+  let old_rows = ref (Edge_counters_ref.rows live) in
+  let scratch = Edge_counters.create ~k ~n in
+  let g_scr = Distance_graph.create_scratch ~k ~n in
+  let lbuf = Array.make n (-1) in
+  for step = 1 to steps do
+    let i = Bprc_rng.Splitmix.int r n in
+    Edge_counters_ref.apply_inc live i;
+    if Bprc_rng.Splitmix.int r 5 = 0 then
+      old_rows := Edge_counters_ref.rows live;
+    let mixed =
+      Array.init n (fun p ->
+          if Bprc_rng.Splitmix.bool r then (Edge_counters_ref.rows live).(p)
+          else !old_rows.(p))
+    in
+    let ctx = Printf.sprintf "into k=%d n=%d step %d" k n step in
+    Edge_counters.set_rows scratch mixed;
+    let fresh = Edge_counters.of_rows ~k mixed in
+    let refc = Edge_counters_ref.of_rows ~k mixed in
+    (* set_rows == of_rows, observed through the allocation-free
+       reads (and those agree with each other entry by entry). *)
+    Edge_counters.iter_rows scratch (fun i j c ->
+        if c <> mixed.(i).(j) then
+          Alcotest.failf "%s: iter_rows (%d,%d)=%d, view says %d" ctx i j c
+            mixed.(i).(j);
+        if Edge_counters.get scratch i j <> c then
+          Alcotest.failf "%s: get (%d,%d) disagrees with iter_rows" ctx i j);
+    counters_agree ~ctx scratch refc;
+    if Edge_counters.valid scratch then begin
+      Edge_counters.to_graph_into scratch g_scr;
+      let g_fresh = Edge_counters.to_graph fresh in
+      let gr = Edge_counters_ref.to_graph refc in
+      graphs_agree ~ctx g_scr gr;
+      graphs_agree ~ctx:(ctx ^ " fresh") g_fresh gr;
+      if step mod sample = 0 then
+        max_path_queries_agree ~ctx ~pairs:6 g_scr gr r;
+      (* dist_ge on the refilled scratch vs dist on a fresh decode,
+         across every pair and the bounds bracketing the protocol's
+         trails-by-K query. *)
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if a <> b then
+            for bound = -1 to k + 1 do
+              let want =
+                match Distance_graph.dist g_fresh a b with
+                | None -> false
+                | Some d -> d >= bound
+              in
+              if Distance_graph.dist_ge g_scr a b bound <> want then
+                Alcotest.failf "%s: dist_ge (%d,%d) >= %d diverges" ctx a b
+                  bound
+            done
+        done
+      done;
+      (* inc_row_with against the just-refilled scratch decode. *)
+      for p = 0 to n - 1 do
+        if
+          Edge_counters.inc_row_with scratch ~graph:g_scr p
+          <> Edge_counters.inc_row fresh p
+        then Alcotest.failf "%s: inc_row_with %d diverges" ctx p
+      done;
+      (* leaders_into into the reused buffer. *)
+      let cnt = Distance_graph.leaders_into g_scr lbuf in
+      if
+        Array.to_list (Array.sub lbuf 0 cnt)
+        <> Distance_graph.leaders g_fresh
+      then Alcotest.failf "%s: leaders_into on scratch diverges" ctx
+    end
+    else begin
+      match Edge_counters.to_graph_into scratch g_scr with
+      | () -> Alcotest.failf "%s: to_graph_into accepted invalid state" ctx
+      | exception Invalid_argument _ -> ()
+    end
+  done
+
+let test_diff_into () =
+  diff_into_walk ~k:2 ~n:2 ~steps:400 ~seed:21 ~sample:1;
+  diff_into_walk ~k:1 ~n:4 ~steps:400 ~seed:22 ~sample:1;
+  diff_into_walk ~k:3 ~n:4 ~steps:400 ~seed:23 ~sample:2;
+  diff_into_walk ~k:2 ~n:8 ~steps:250 ~seed:24 ~sample:10;
+  diff_into_walk ~k:2 ~n:32 ~steps:30 ~seed:25 ~sample:15
+
+(* Steady-state allocation ceiling for the scratch decode: refill one
+   scratch graph alternately from two fixed counter states (two, so
+   every refill actually changes the edges) and force the position
+   reconstruction plus the protocol's queries each time.  After
+   warm-up — the graph's rank/order/pos scratch arrays are lazily
+   allocated on first use — the loop must be allocation-free. *)
+let test_reconstruct_into_no_alloc () =
+  let k = 2 and n = 8 in
+  let a = Edge_counters.create ~k ~n in
+  let b = Edge_counters.create ~k ~n in
+  (* Advance every token in [b] a few times; everyone moving together
+     keeps the state valid but distinct from the all-zero [a]. *)
+  for _ = 1 to 3 do
+    for i = 0 to n - 1 do
+      Edge_counters.apply_inc b i
+    done
+  done;
+  let g = Distance_graph.create_scratch ~k ~n in
+  let refill c =
+    Edge_counters.to_graph_into c g;
+    ignore (Distance_graph.reconstruct_into g : bool);
+    for j = 1 to n - 1 do
+      ignore (Distance_graph.dist_ge g 0 j k : bool);
+      ignore (Distance_graph.is_leader g j : bool)
+    done
+  in
+  refill a;
+  refill b;
+  Gc.full_major ();
+  let rounds = 2000 in
+  let m0 = Gc.minor_words () in
+  for i = 1 to rounds do
+    refill (if i land 1 = 0 then a else b)
+  done;
+  let dw = Gc.minor_words () -. m0 in
+  let per = dw /. float_of_int rounds in
+  Alcotest.(check bool)
+    (* The only steady-state allocation is the [Pos] cache constructor
+       (2 words per reconstruction); 4 leaves slack for boxing
+       differences across compiler versions. *)
+    (Printf.sprintf "scratch decode minor words/refill %.2f <= 4" per)
+    true (per <= 4.0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "into: scratch vs fresh decode (n=2,4,8,32)" `Quick
+        test_diff_into;
+      Alcotest.test_case "into: reconstruct_into allocation ceiling" `Quick
+        test_reconstruct_into_no_alloc;
     ]
